@@ -1,0 +1,243 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (§III), plus ablations of RICA's design choices. Each
+// benchmark iteration executes the figure's full experiment at a reduced
+// scale (the -trials/-duration of the ricasim CLI reach paper scale); the
+// reported ns/op measures the cost of reproducing that figure once.
+package rica_test
+
+import (
+	"testing"
+	"time"
+
+	"rica"
+	"rica/internal/experiment"
+	"rica/internal/network"
+	ricaproto "rica/internal/routing/rica"
+	"rica/internal/world"
+)
+
+// benchOptions is the reduced grid benchmarks run per iteration.
+func benchOptions() rica.Options {
+	return rica.Options{
+		Speeds:   []float64{0, 36, 72},
+		Trials:   1,
+		Duration: 20 * time.Second,
+		BaseSeed: 1,
+	}
+}
+
+// benchSweep regenerates Figures 2/3/4 at one load and reports the metric
+// values as benchmark outputs.
+func benchSweep(b *testing.B, load float64, m rica.Metric) {
+	b.ReportAllocs()
+	var last rica.SweepResult
+	for i := 0; i < b.N; i++ {
+		last = rica.Sweep(load, benchOptions())
+	}
+	reportSweep(b, last, m)
+}
+
+func reportSweep(b *testing.B, s rica.SweepResult, m rica.Metric) {
+	for _, p := range s.Order {
+		cells := s.Cells[p]
+		final := cells[len(cells)-1].Mean
+		var v float64
+		switch m {
+		case rica.MetricDelay:
+			v = final.DelayMs
+		case rica.MetricDelivery:
+			v = final.DeliveryPercent
+		case rica.MetricOverhead:
+			v = final.OverheadKbps
+		}
+		b.ReportMetric(v, p.String()+"@72kmh")
+	}
+}
+
+// Figure 2: average end-to-end delay vs mobile speed.
+func BenchmarkFigure2a(b *testing.B) { benchSweep(b, 10, rica.MetricDelay) }
+func BenchmarkFigure2b(b *testing.B) { benchSweep(b, 20, rica.MetricDelay) }
+
+// Figure 3: successful percentage of packet delivery vs mobile speed.
+func BenchmarkFigure3a(b *testing.B) { benchSweep(b, 10, rica.MetricDelivery) }
+func BenchmarkFigure3b(b *testing.B) { benchSweep(b, 20, rica.MetricDelivery) }
+
+// Figure 4: routing overhead vs mobile speed.
+func BenchmarkFigure4a(b *testing.B) { benchSweep(b, 10, rica.MetricOverhead) }
+func BenchmarkFigure4b(b *testing.B) { benchSweep(b, 20, rica.MetricOverhead) }
+
+// Figure 5: route quality (link throughput and hop counts) at 72 km/h.
+func benchQuality(b *testing.B, report func(*testing.B, rica.QualityResult)) {
+	b.ReportAllocs()
+	var last rica.QualityResult
+	for i := 0; i < b.N; i++ {
+		last = rica.Quality(72, 10, benchOptions())
+	}
+	report(b, last)
+}
+
+func BenchmarkFigure5a(b *testing.B) {
+	benchQuality(b, func(b *testing.B, q rica.QualityResult) {
+		for _, p := range q.Order {
+			b.ReportMetric(q.Cells[p].Mean.LinkThroughputK, p.String()+"-kbps")
+		}
+	})
+}
+
+func BenchmarkFigure5b(b *testing.B) {
+	benchQuality(b, func(b *testing.B, q rica.QualityResult) {
+		for _, p := range q.Order {
+			b.ReportMetric(q.Cells[p].Mean.CSIHops, p.String()+"-hops")
+		}
+	})
+}
+
+// Figure 6: aggregate network throughput over time.
+func benchSeries(b *testing.B, load float64) {
+	b.ReportAllocs()
+	var last rica.SeriesResult
+	for i := 0; i < b.N; i++ {
+		last = rica.Series(load, rica.Figure6SpeedKmh, rica.Options{
+			Trials: 1, Duration: 40 * time.Second, BaseSeed: 1,
+		})
+	}
+	for _, p := range last.Order {
+		b.ReportMetric(last.MeanSeries(p), p.String()+"-kbps")
+	}
+}
+
+func BenchmarkFigure6a(b *testing.B) { benchSeries(b, 20) }
+func BenchmarkFigure6b(b *testing.B) { benchSeries(b, 60) }
+
+// --- Ablations of RICA's design choices (DESIGN.md §7) -------------------
+
+// ricaVariant runs RICA with a modified protocol configuration.
+func ricaVariant(b *testing.B, mutate func(*ricaproto.Config)) rica.Summary {
+	cfg := world.DefaultConfig(36, 10)
+	cfg.Duration = 20 * time.Second
+	cfg.Seed = 1
+	pcfg := ricaproto.DefaultConfig()
+	mutate(&pcfg)
+	w := world.New(cfg, func(env network.Env, _ *world.World, _ int) network.Agent {
+		return ricaproto.New(env, pcfg)
+	})
+	return w.Run()
+}
+
+// BenchmarkAblationCheckInterval sweeps the CSI-checking period: shorter
+// intervals track the channel more closely at a proportional overhead
+// cost.
+func BenchmarkAblationCheckInterval(b *testing.B) {
+	for _, interval := range []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, time.Second, 2 * time.Second} {
+		interval := interval
+		b.Run(interval.String(), func(b *testing.B) {
+			var s rica.Summary
+			for i := 0; i < b.N; i++ {
+				s = ricaVariant(b, func(c *ricaproto.Config) { c.CheckInterval = interval })
+			}
+			b.ReportMetric(s.DeliveryRatio*100, "delivery%")
+			b.ReportMetric(s.OverheadBps/1000, "overhead-kbps")
+			b.ReportMetric(float64(s.AvgDelay.Milliseconds()), "delay-ms")
+		})
+	}
+}
+
+// BenchmarkAblationTTL compares TTL-scoped checking packets (the paper's
+// bandwidth-saving design) against full network floods.
+func BenchmarkAblationTTL(b *testing.B) {
+	for _, full := range []bool{false, true} {
+		full := full
+		name := "scoped"
+		if full {
+			name = "full-flood"
+		}
+		b.Run(name, func(b *testing.B) {
+			var s rica.Summary
+			for i := 0; i < b.N; i++ {
+				s = ricaVariant(b, func(c *ricaproto.Config) { c.FullFloodCSIC = full })
+			}
+			b.ReportMetric(s.DeliveryRatio*100, "delivery%")
+			b.ReportMetric(s.OverheadBps/1000, "overhead-kbps")
+		})
+	}
+}
+
+// BenchmarkAblationCollectWindow compares the destination's 40 ms RREQ
+// gathering window against AODV-style first-RREQ replies.
+func BenchmarkAblationCollectWindow(b *testing.B) {
+	for _, window := range []time.Duration{0, 10 * time.Millisecond, 40 * time.Millisecond, 100 * time.Millisecond} {
+		window := window
+		b.Run(window.String(), func(b *testing.B) {
+			var s rica.Summary
+			for i := 0; i < b.N; i++ {
+				s = ricaVariant(b, func(c *ricaproto.Config) { c.CollectWindow = window })
+			}
+			b.ReportMetric(s.DeliveryRatio*100, "delivery%")
+			b.ReportMetric(float64(s.AvgDelay.Milliseconds()), "delay-ms")
+		})
+	}
+}
+
+// BenchmarkAblationBuffer sweeps the per-link buffer capacity the paper
+// fixes at 10 packets.
+func BenchmarkAblationBuffer(b *testing.B) {
+	for _, cap := range []int{5, 10, 20} {
+		cap := cap
+		b.Run(sizeName(cap), func(b *testing.B) {
+			var s rica.Summary
+			for i := 0; i < b.N; i++ {
+				s = rica.Simulate(rica.SimConfig{
+					Protocol: rica.ProtocolRICA, MeanSpeedKmh: 36, Rate: 20,
+					Duration: 20 * time.Second, Seed: 1, BufferCap: cap,
+				})
+			}
+			b.ReportMetric(s.DeliveryRatio*100, "delivery%")
+			b.ReportMetric(float64(s.AvgDelay.Milliseconds()), "delay-ms")
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 5:
+		return "cap-5"
+	case 10:
+		return "cap-10"
+	default:
+		return "cap-20"
+	}
+}
+
+// BenchmarkSimulationThroughput measures raw simulator speed: events
+// executed per wall second for a mid-scale RICA run.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Run(experiment.RunConfig{
+			Protocol: experiment.RICA, MeanSpeedKmh: 36, Rate: 10,
+			Duration: 30 * time.Second, Trials: 1, BaseSeed: int64(i + 1),
+		})
+	}
+}
+
+// BenchmarkAblationAdaptiveCheck compares the fixed 1 s checking period
+// against the volatility-adaptive one (the paper's aside that the period
+// should follow "the change speed of the link CSI").
+func BenchmarkAblationAdaptiveCheck(b *testing.B) {
+	for _, adaptive := range []bool{false, true} {
+		adaptive := adaptive
+		name := "fixed-1s"
+		if adaptive {
+			name = "adaptive"
+		}
+		b.Run(name, func(b *testing.B) {
+			var s rica.Summary
+			for i := 0; i < b.N; i++ {
+				s = ricaVariant(b, func(c *ricaproto.Config) { c.AdaptiveCheck = adaptive })
+			}
+			b.ReportMetric(s.DeliveryRatio*100, "delivery%")
+			b.ReportMetric(s.OverheadBps/1000, "overhead-kbps")
+			b.ReportMetric(float64(s.AvgDelay.Milliseconds()), "delay-ms")
+		})
+	}
+}

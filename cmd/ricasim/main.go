@@ -1,0 +1,160 @@
+// Command ricasim regenerates the tables behind every figure of the RICA
+// paper's evaluation (ICDCS 2002, §III).
+//
+// Usage:
+//
+//	ricasim -figure 2a                    # one figure at CI scale
+//	ricasim -figure all -trials 25 -duration 500s   # full paper scale
+//	ricasim -figure 3b -protocols RICA,AODV -speeds 0,36,72
+//
+// Figures: 2a/2b delay, 3a/3b delivery, 4a/4b overhead (a = 10 packets/s,
+// b = 20 packets/s), 5a/5b route quality at 72 km/h, 6a/6b throughput
+// time series (20 and 60 packets/s).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rica"
+)
+
+func main() {
+	var (
+		figure    = flag.String("figure", "all", "figure to regenerate: 2a..6b or 'all'")
+		trials    = flag.Int("trials", 5, "trials per experimental cell (paper: 25)")
+		duration  = flag.Duration("duration", 120*time.Second, "simulated time per trial (paper: 500s)")
+		seed      = flag.Int64("seed", 1, "base random seed; trial t uses seed+t")
+		speeds    = flag.String("speeds", "0,12,24,36,48,60,72", "comma-separated mean speeds (km/h)")
+		protocols = flag.String("protocols", "", "comma-separated protocol subset (default: all five)")
+		format    = flag.String("format", "table", "output format: table, csv, or chart (chart: figures 6a/6b only)")
+	)
+	flag.Parse()
+
+	opts := rica.Options{
+		Trials:   *trials,
+		Duration: *duration,
+		BaseSeed: *seed,
+	}
+	var err error
+	if opts.Speeds, err = parseFloats(*speeds); err != nil {
+		fatalf("bad -speeds: %v", err)
+	}
+	if *protocols != "" {
+		for _, name := range strings.Split(*protocols, ",") {
+			p, err := rica.ParseProtocol(strings.TrimSpace(name))
+			if err != nil {
+				fatalf("%v", err)
+			}
+			opts.Protocols = append(opts.Protocols, p)
+		}
+	}
+
+	want := strings.ToLower(*figure)
+	ran := false
+	run := func(id string, fn func()) {
+		if want == "all" || want == id {
+			fn()
+			ran = true
+		}
+	}
+
+	var sweep10, sweep20 *rica.SweepResult
+	getSweep := func(load float64) rica.SweepResult {
+		cache := &sweep10
+		if load == 20 {
+			cache = &sweep20
+		}
+		if *cache == nil {
+			fmt.Fprintf(os.Stderr, "running %d-cell sweep at %.0f packets/s (%d trials × %v)...\n",
+				len(opts.Speeds)*len(protocolsOf(opts)), load, opts.Trials, opts.Duration)
+			s := rica.Sweep(load, opts)
+			*cache = &s
+		}
+		return **cache
+	}
+
+	sweepOut := func(load float64, m rica.Metric) {
+		s := getSweep(load)
+		if *format == "csv" {
+			fmt.Println(s.CSV(m))
+			return
+		}
+		fmt.Println(s.Table(m))
+	}
+	run("2a", func() { sweepOut(10, rica.MetricDelay) })
+	run("2b", func() { sweepOut(20, rica.MetricDelay) })
+	run("3a", func() { sweepOut(10, rica.MetricDelivery) })
+	run("3b", func() { sweepOut(20, rica.MetricDelivery) })
+	run("4a", func() { sweepOut(10, rica.MetricOverhead) })
+	run("4b", func() { sweepOut(20, rica.MetricOverhead) })
+
+	var quality *rica.QualityResult
+	getQuality := func() rica.QualityResult {
+		if quality == nil {
+			fmt.Fprintln(os.Stderr, "running route-quality cells at 72 km/h...")
+			q := rica.Quality(72, 10, opts)
+			quality = &q
+		}
+		return *quality
+	}
+	qualityOut := func() {
+		if *format == "csv" {
+			fmt.Println(getQuality().CSV())
+			return
+		}
+		fmt.Println(getQuality().Table())
+	}
+	run("5a", func() { qualityOut() })
+	run("5b", func() {
+		if want == "5b" { // avoid printing the shared table twice under 'all'
+			qualityOut()
+		}
+	})
+
+	seriesOut := func(load float64) {
+		s := rica.Series(load, rica.Figure6SpeedKmh, opts)
+		switch *format {
+		case "csv":
+			fmt.Println(s.CSV())
+		case "chart":
+			fmt.Println(s.Chart())
+		default:
+			fmt.Println(s.Table())
+		}
+	}
+	run("6a", func() { seriesOut(20) })
+	run("6b", func() { seriesOut(60) })
+
+	if !ran {
+		fatalf("unknown figure %q (want 2a..6b or all)", *figure)
+	}
+}
+
+func protocolsOf(o rica.Options) []rica.Protocol {
+	if o.Protocols != nil {
+		return o.Protocols
+	}
+	return rica.AllProtocols()
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ricasim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Fileswap models the paper's motivating scenario: personal devices in an
+// ad hoc network swapping files peer-to-peer. Three device pairs exchange
+// data in both directions (six flows) while everyone wanders the field;
+// the example transfers the same "files" under RICA and under AODV and
+// compares how much of each transfer completed and how fast chunks moved.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rica"
+)
+
+func main() {
+	// Three bidirectional swaps: each side pushes 512-byte chunks at
+	// 15 packets/s (≈61 kbps of goodput demand per direction).
+	flows := []rica.Flow{
+		{Src: 3, Dst: 27, Rate: 15}, {Src: 27, Dst: 3, Rate: 15},
+		{Src: 11, Dst: 40, Rate: 15}, {Src: 40, Dst: 11, Rate: 15},
+		{Src: 19, Dst: 35, Rate: 15}, {Src: 35, Dst: 19, Rate: 15},
+	}
+	const duration = 90 * time.Second
+
+	fmt.Println("Peer-to-peer file swapping, 3 device pairs × 2 directions, 36 km/h mean:")
+	fmt.Printf("%-10s%14s%14s%12s%14s\n", "protocol", "chunks sent", "chunks recv", "complete", "mean delay")
+	for _, p := range []rica.Protocol{rica.ProtocolRICA, rica.ProtocolAODV} {
+		s := rica.Simulate(rica.SimConfig{
+			Protocol:     p,
+			MeanSpeedKmh: 36,
+			Rate:         15, // drives BGCA-style defaults; flows below override the workload
+			Duration:     duration,
+			Seed:         7,
+			Flows:        flows,
+		})
+		fmt.Printf("%-10s%14d%14d%11.1f%%%14v\n",
+			p.String(), s.Generated, s.Delivered, s.DeliveryRatio*100,
+			s.AvgDelay.Round(time.Millisecond))
+	}
+	fmt.Println("\nThe receiver-initiated CSI checking keeps the swap on high-class")
+	fmt.Println("links as devices move, which is what the delivery gap shows.")
+}

@@ -1,0 +1,38 @@
+// Packettrace shows the simulator's observability surface: it runs a
+// short RICA session while recording the packet-level event history, then
+// prints the opening exchange — the first data packets triggering a route
+// discovery flood, the reply, the receiver-initiated checking packets,
+// and the first deliveries.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rica"
+)
+
+func main() {
+	summary, events := rica.SimulateTraced(rica.SimConfig{
+		Protocol:     rica.ProtocolRICA,
+		MeanSpeedKmh: 20,
+		Rate:         10,
+		Duration:     3 * time.Second,
+		Seed:         4,
+		Flows:        []rica.Flow{{Src: 12, Dst: 33, Rate: 10}},
+	}, 4096)
+
+	fmt.Println("First 45 events of a single RICA flow (terminal 12 → 33):")
+	for i, e := range events {
+		if i >= 45 {
+			break
+		}
+		fmt.Println(" ", e)
+	}
+	fmt.Printf("\n%d events total; delivered %d/%d packets, mean delay %v.\n",
+		len(events), summary.Delivered, summary.Generated,
+		summary.AvgDelay.Round(time.Millisecond))
+	fmt.Println("Watch for: GEN at the source, the RREQ flood (CTL), the unicast")
+	fmt.Println("RREP retracing it, periodic CSIC broadcasts from terminal 33, and")
+	fmt.Println("DLV lines whose hop counts follow the route the checks selected.")
+}

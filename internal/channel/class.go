@@ -1,0 +1,136 @@
+// Package channel models the time-varying wireless links between mobile
+// terminals. Following the paper (§II.A), the physical layer is abstracted
+// by the ABICM adaptive coding/modulation scheme: what the routing layer
+// observes is a per-link channel *class* — A, B, C or D — with effective
+// throughputs of 250, 150, 75 and 50 kbps respectively, and a CSI-based
+// "hop distance" of 1, 1.67, 3.33 and 5 that weights route selection.
+//
+// Underneath the quantizer this package synthesizes a composite SNR
+// process per link:
+//
+//	SNR(d, t) = RefSNR − 10·n·log10(d) + S(t) + F(t)
+//
+// where S is long-term log-normal shadowing (an AR(1) Gauss–Markov process
+// in dB) and F is fast Rayleigh fading (the envelope of two Gauss–Markov
+// quadrature components, approximating Jakes' Doppler correlation). Links
+// further apart than the radio range (250 m) do not exist at all; within
+// range a link always has one of the four classes, with deep fades mapping
+// to class D — so, as in the paper, route *breaks* are caused by mobility
+// while route *quality* is caused by fading.
+package channel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Class is the quantized channel quality between two terminals in radio
+// range. The zero value ClassNone means "no usable link" (out of range).
+type Class int
+
+// Channel quality classes, best first. Values are ordered so that a
+// larger Class constant means a *worse* channel; use Better for clarity.
+const (
+	ClassNone Class = iota // out of range; no link
+	ClassA                 // 250 kbps
+	ClassB                 // 150 kbps
+	ClassC                 // 75 kbps
+	ClassD                 // 50 kbps
+)
+
+// Throughputs after adaptive coding and modulation, per the paper.
+const (
+	throughputA = 250_000 // bits/s
+	throughputB = 150_000
+	throughputC = 75_000
+	throughputD = 50_000
+)
+
+// String returns the single-letter label used in the paper's figures.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "-"
+	case ClassA:
+		return "A"
+	case ClassB:
+		return "B"
+	case ClassC:
+		return "C"
+	case ClassD:
+		return "D"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Usable reports whether the class denotes an existing link.
+func (c Class) Usable() bool { return c >= ClassA && c <= ClassD }
+
+// ThroughputBps reports the effective data throughput of the class in
+// bits per second. ClassNone has zero throughput.
+func (c Class) ThroughputBps() float64 {
+	switch c {
+	case ClassA:
+		return throughputA
+	case ClassB:
+		return throughputB
+	case ClassC:
+		return throughputC
+	case ClassD:
+		return throughputD
+	default:
+		return 0
+	}
+}
+
+// HopDistance reports the CSI-based hop distance the paper defines: the
+// transmission-delay ratio relative to a class-A link. Class A is the
+// baseline ONE hop; B, C, D count as 1.67, 3.33 and 5 hops. ClassNone is
+// infinitely far; it returns +Inf-like sentinel via InfiniteHops.
+func (c Class) HopDistance() float64 {
+	switch c {
+	case ClassA:
+		return 1
+	case ClassB:
+		return 1.67
+	case ClassC:
+		return 3.33
+	case ClassD:
+		return 5
+	default:
+		return InfiniteHops
+	}
+}
+
+// InfiniteHops is the hop distance of a non-existent link; any real route
+// is shorter than a single InfiniteHops edge.
+const InfiniteHops = 1e9
+
+// TransmitDuration reports how long size bytes occupy the link at this
+// class's throughput. It panics on an unusable class: callers must check
+// link existence first, since "transmit over no link" is a protocol bug.
+func (c Class) TransmitDuration(sizeBytes int) time.Duration {
+	bps := c.ThroughputBps()
+	if bps <= 0 {
+		panic(fmt.Sprintf("channel: TransmitDuration on unusable class %v", c))
+	}
+	bits := float64(sizeBytes * 8)
+	return time.Duration(bits / bps * float64(time.Second))
+}
+
+// ClassForSNR quantizes an SNR (dB) into a class using the model's
+// thresholds. Used by Link; exported for tests and for protocol logic that
+// reasons about guard margins.
+func ClassForSNR(snrDB float64, cfg *Config) Class {
+	switch {
+	case snrDB >= cfg.ThresholdA:
+		return ClassA
+	case snrDB >= cfg.ThresholdB:
+		return ClassB
+	case snrDB >= cfg.ThresholdC:
+		return ClassC
+	default:
+		return ClassD
+	}
+}

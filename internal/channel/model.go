@@ -1,0 +1,131 @@
+package channel
+
+import (
+	"time"
+
+	"rica/internal/geom"
+	"rica/internal/sim"
+)
+
+// Positioner supplies a terminal's location at a virtual time. Implemented
+// by *mobility.Node; abstracted here so channel tests can use fixed or
+// scripted positions.
+type Positioner interface {
+	Position(at time.Duration) geom.Point
+}
+
+// Speeder optionally reports a terminal's instantaneous speed; terminals
+// that implement it (mobility.Node does) drive the Doppler scaling of
+// their links' fading. Positioners without it are treated as parked.
+type Speeder interface {
+	Speed(at time.Duration) float64
+}
+
+// streamKindChannel namespaces link fading streams within a trial's seed
+// space (see sim.Streams).
+const streamKindChannel = 0x_C4A1
+
+// Model is the full-network channel: one fading Link per unordered
+// terminal pair plus the terminals' positions. It answers the question
+// every layer above asks — "what class is the link between i and j right
+// now?" — and provides neighbourhood scans for floods and topology
+// installation.
+type Model struct {
+	cfg   Config
+	pos   []Positioner
+	links []*Link // upper-triangular pair index
+}
+
+// NewModel builds the channel for n terminals whose positions are given by
+// pos. Each pair's fading process gets an independent deterministic stream
+// from streams.
+func NewModel(cfg Config, streams *sim.Streams, pos []Positioner) *Model {
+	n := len(pos)
+	m := &Model{
+		cfg:   cfg,
+		pos:   pos,
+		links: make([]*Link, n*(n-1)/2),
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			idx := m.pairIndex(i, j)
+			m.links[idx] = NewLink(&m.cfg, streams.StreamAt(streamKindChannel, uint64(idx)))
+		}
+	}
+	return m
+}
+
+// N reports the number of terminals.
+func (m *Model) N() int { return len(m.pos) }
+
+// Config returns the model's configuration (a copy).
+func (m *Model) Config() Config { return m.cfg }
+
+// pairIndex maps an unordered pair to its slot in the triangular array.
+func (m *Model) pairIndex(i, j int) int {
+	if i == j {
+		panic("channel: self link has no channel")
+	}
+	if i > j {
+		i, j = j, i
+	}
+	n := len(m.pos)
+	// Row-major upper triangle: row i starts after sum_{k<i} (n-1-k) slots.
+	return i*(2*n-i-1)/2 + (j - i - 1)
+}
+
+// Distance reports the current distance between terminals i and j.
+func (m *Model) Distance(i, j int, at time.Duration) float64 {
+	return m.pos[i].Position(at).DistanceTo(m.pos[j].Position(at))
+}
+
+// relSpeed bounds the pair's relative speed by the sum of the terminals'
+// own speeds (exact relative velocity is not worth the extra queries).
+func (m *Model) relSpeed(i, j int, at time.Duration) float64 {
+	v := 0.0
+	if s, ok := m.pos[i].(Speeder); ok {
+		v += s.Speed(at)
+	}
+	if s, ok := m.pos[j].(Speeder); ok {
+		v += s.Speed(at)
+	}
+	return v
+}
+
+// Class reports the channel class between i and j at time at. The link is
+// symmetric: Class(i, j) == Class(j, i) by construction.
+func (m *Model) Class(i, j int, at time.Duration) Class {
+	return m.links[m.pairIndex(i, j)].ClassAt(m.Distance(i, j, at), m.relSpeed(i, j, at), at)
+}
+
+// SNR reports the instantaneous link SNR in dB (ignoring the range
+// cutoff); exported for diagnostics and tests.
+func (m *Model) SNR(i, j int, at time.Duration) float64 {
+	return m.links[m.pairIndex(i, j)].SNR(m.Distance(i, j, at), m.relSpeed(i, j, at), at)
+}
+
+// InRange reports whether i and j are within radio reception range.
+func (m *Model) InRange(i, j int, at time.Duration) bool {
+	return m.Distance(i, j, at) <= m.cfg.Range
+}
+
+// Neighbors appends to dst the ids of terminals within radio range of i,
+// and returns the extended slice. Pass a reusable buffer to avoid
+// allocation in flood hot paths.
+func (m *Model) Neighbors(i int, at time.Duration, dst []int) []int {
+	pi := m.pos[i].Position(at)
+	for j := range m.pos {
+		if j == i {
+			continue
+		}
+		if pi.DistanceTo(m.pos[j].Position(at)) <= m.cfg.Range {
+			dst = append(dst, j)
+		}
+	}
+	return dst
+}
+
+// Position exposes terminal i's current location (diagnostics, examples).
+func (m *Model) Position(i int, at time.Duration) geom.Point {
+	return m.pos[i].Position(at)
+}

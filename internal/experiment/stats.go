@@ -1,0 +1,58 @@
+package experiment
+
+import "math"
+
+// metricOf extracts a sweep metric from one trial summary.
+func (m Metric) trialValue(r Result, trial int) float64 {
+	s := r.Trials[trial]
+	switch m {
+	case MetricDelay:
+		return float64(s.AvgDelay.Milliseconds())
+	case MetricDelivery:
+		return s.DeliveryRatio * 100
+	case MetricOverhead:
+		return s.OverheadBps / 1000
+	default:
+		return 0
+	}
+}
+
+// TrialValues lists a metric's per-trial values for a cell.
+func (r Result) TrialValues(m Metric) []float64 {
+	out := make([]float64, len(r.Trials))
+	for i := range r.Trials {
+		out[i] = m.trialValue(r, i)
+	}
+	return out
+}
+
+// StdDev reports the sample standard deviation of a metric across the
+// cell's trials (zero for fewer than two trials).
+func (r Result) StdDev(m Metric) float64 {
+	vals := r.TrialValues(m)
+	if len(vals) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	ss := 0.0
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(vals)-1))
+}
+
+// CI95 reports the 95% confidence half-width of a metric's mean across
+// the cell's trials, using the normal approximation (the paper averages
+// 25 trials, where it is adequate).
+func (r Result) CI95(m Metric) float64 {
+	n := len(r.Trials)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * r.StdDev(m) / math.Sqrt(float64(n))
+}

@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, 0}, Point{1, 0}, 2},
+		{Point{0, 0}, Point{0, -7}, 7},
+	}
+	for _, c := range cases {
+		if got := c.p.DistanceTo(c.q); !almostEqual(got, c.want) {
+			t.Errorf("DistanceTo(%v, %v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		p, q := Point{ax, ay}, Point{bx, by}
+		d1, d2 := p.DistanceTo(q), q.DistanceTo(p)
+		return d1 == d2 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubAddRoundTrip(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Constrain coordinates to field-like magnitudes; the simulator
+		// never leaves a ~1 km rectangle and extreme exponents lose the
+		// round trip to floating-point cancellation by design.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e4)
+		}
+		ax, ay, bx, by = clamp(ax), clamp(ay), clamp(bx), clamp(by)
+		p, q := Point{ax, ay}, Point{bx, by}
+		r := q.Add(p.Sub(q))
+		return almostEqual(r.X, p.X) || math.Abs(r.X-p.X) < math.Abs(p.X)*1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	p, q := Point{1, 2}, Point{5, -6}
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0) = %v, want %v", got, p)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1) = %v, want %v", got, q)
+	}
+	mid := p.Lerp(q, 0.5)
+	if !almostEqual(mid.X, 3) || !almostEqual(mid.Y, -2) {
+		t.Errorf("Lerp(0.5) = %v, want (3, -2)", mid)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	n := v.Normalize()
+	if !almostEqual(n.Length(), 1) {
+		t.Errorf("normalized length = %v, want 1", n.Length())
+	}
+	if !almostEqual(n.X, 0.6) || !almostEqual(n.Y, 0.8) {
+		t.Errorf("Normalize = %v, want (0.6, 0.8)", n)
+	}
+}
+
+func TestNormalizeZeroVector(t *testing.T) {
+	if got := (Vector{}).Normalize(); got != (Vector{}) {
+		t.Errorf("Normalize(zero) = %v, want zero vector", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := Vector{2, -3}.Scale(-2)
+	if v != (Vector{-4, 6}) {
+		t.Errorf("Scale = %v, want (-4, 6)", v)
+	}
+}
+
+func TestFieldContains(t *testing.T) {
+	f := Field{1000, 1000}
+	for _, p := range []Point{{0, 0}, {1000, 1000}, {500, 999}} {
+		if !f.Contains(p) {
+			t.Errorf("Contains(%v) = false, want true", p)
+		}
+	}
+	for _, p := range []Point{{-0.1, 0}, {1000.1, 0}, {5, -1}, {5, 1001}} {
+		if f.Contains(p) {
+			t.Errorf("Contains(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestFieldClamp(t *testing.T) {
+	f := Field{100, 50}
+	cases := []struct{ in, want Point }{
+		{Point{-5, 25}, Point{0, 25}},
+		{Point{200, 25}, Point{100, 25}},
+		{Point{50, -3}, Point{50, 0}},
+		{Point{50, 60}, Point{50, 50}},
+		{Point{30, 30}, Point{30, 30}},
+	}
+	for _, c := range cases {
+		if got := f.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFieldClampProperty(t *testing.T) {
+	fld := Field{1000, 1000}
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		return fld.Contains(fld.Clamp(Point{x, y}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	if got := (Field{300, 400}).Diagonal(); !almostEqual(got, 500) {
+		t.Errorf("Diagonal = %v, want 500", got)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1.234, 5}).String(); got != "(1.23, 5.00)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,201 @@
+// Package mac models the paper's multi-code CDMA medium access layer in
+// two halves:
+//
+//   - CommonChannel: the shared 250 kbps signalling channel carrying every
+//     routing packet, with unslotted CSMA/CA — carrier sensing within radio
+//     range, randomized exponential backoff, and destructive collisions at
+//     receivers reached by overlapping transmissions (hidden terminals).
+//     The paper assumes this channel is robust against fading, so fading
+//     never corrupts it; only contention does.
+//
+//   - DataPlane: per-link CDMA data transmission. Distinct PN code pairs do
+//     not contend with each other, so each link is an independent
+//     store-and-forward server whose instantaneous rate is the link's
+//     channel class throughput; per-hop ACKs confirm receipt and failed
+//     transmissions reveal link breaks.
+package mac
+
+import (
+	"math/rand"
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/packet"
+	"rica/internal/sim"
+)
+
+// commonBitrate is the common channel's bandwidth (paper §III.A).
+const commonBitrate = 250_000 // bits/s
+
+// Backoff and retry tuning for the unslotted CSMA/CA. backoffSlot is on
+// the order of one small control packet's airtime.
+const (
+	backoffSlot     = 2 * time.Millisecond
+	maxSendAttempts = 7
+	// collisionHorizon bounds how long finished transmissions are kept for
+	// overlap checks; it must exceed the longest control-packet airtime
+	// (a full 50-entry LSA is ~13.6 ms on air).
+	collisionHorizon = 50 * time.Millisecond
+)
+
+// ReceiveFunc handles a control packet arriving at a terminal. Each
+// receiver gets its own clone, so handlers may mutate the packet freely.
+type ReceiveFunc func(pkt *packet.Packet, now time.Duration)
+
+// transmission is one on-air control packet.
+type transmission struct {
+	from       int
+	start, end time.Duration
+	pkt        *packet.Packet
+}
+
+// CommonChannel is the shared CSMA/CA signalling channel.
+type CommonChannel struct {
+	kernel   *sim.Kernel
+	model    *channel.Model
+	rng      *rand.Rand
+	handlers []ReceiveFunc
+	active   []*transmission
+
+	// OnTransmit, if set, observes every packet put on air (routing
+	// overhead accounting: each attempt that actually transmits counts).
+	OnTransmit func(pkt *packet.Packet, from int, now time.Duration)
+	// OnDropped, if set, observes control packets abandoned after the
+	// maximum number of busy-channel backoffs — the congestion-collapse
+	// signal that cripples the link-state protocol at high mobility.
+	OnDropped func(pkt *packet.Packet, from int, now time.Duration)
+}
+
+// NewCommonChannel builds the channel for the terminals covered by model.
+// rng drives backoff jitter and must be a dedicated stream.
+func NewCommonChannel(kernel *sim.Kernel, model *channel.Model, rng *rand.Rand) *CommonChannel {
+	return &CommonChannel{
+		kernel:   kernel,
+		model:    model,
+		rng:      rng,
+		handlers: make([]ReceiveFunc, model.N()),
+	}
+}
+
+// Register installs the receive handler for terminal id. Every terminal
+// must register exactly once before traffic starts.
+func (c *CommonChannel) Register(id int, h ReceiveFunc) {
+	if c.handlers[id] != nil {
+		panic("mac: duplicate CommonChannel.Register")
+	}
+	c.handlers[id] = h
+}
+
+// Send queues pkt for transmission from terminal pkt.From. Broadcasts
+// (pkt.To == packet.Broadcast) are delivered to every in-range terminal;
+// unicasts only to pkt.To, though both occupy the air identically.
+// Delivery is best-effort: collisions and repeated busy channel lose the
+// packet silently, exactly the failure mode ad hoc routing must tolerate.
+func (c *CommonChannel) Send(pkt *packet.Packet) {
+	c.attempt(pkt, 0)
+}
+
+func (c *CommonChannel) attempt(pkt *packet.Packet, tries int) {
+	now := c.kernel.Now()
+	if c.senseBusy(pkt.From, now) {
+		if tries+1 >= maxSendAttempts {
+			if c.OnDropped != nil {
+				c.OnDropped(pkt, pkt.From, now)
+			}
+			return
+		}
+		c.kernel.Schedule(c.backoff(tries), func(time.Duration) {
+			c.attempt(pkt, tries+1)
+		})
+		return
+	}
+
+	airtime := time.Duration(float64(pkt.Size*8) / commonBitrate * float64(time.Second))
+	tx := &transmission{from: pkt.From, start: now, end: now + airtime, pkt: pkt}
+	c.active = append(c.active, tx)
+	if c.OnTransmit != nil {
+		c.OnTransmit(pkt, pkt.From, now)
+	}
+	c.kernel.Schedule(airtime, func(end time.Duration) {
+		c.complete(tx, end)
+	})
+}
+
+// backoff draws an unslotted binary-exponential backoff delay.
+func (c *CommonChannel) backoff(tries int) time.Duration {
+	window := backoffSlot << uint(tries)
+	return time.Duration(c.rng.Int63n(int64(window))) + time.Millisecond
+}
+
+// senseBusy reports whether terminal from hears an ongoing transmission.
+func (c *CommonChannel) senseBusy(from int, now time.Duration) bool {
+	for _, tx := range c.active {
+		if tx.end <= now {
+			continue
+		}
+		if tx.from == from {
+			return true // own radio transmitting
+		}
+		if c.model.InRange(tx.from, from, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// complete finishes transmission tx: it delivers to every receiver in
+// range of the sender that did not experience an overlapping transmission
+// (collision), then prunes stale history.
+func (c *CommonChannel) complete(tx *transmission, now time.Duration) {
+	for j := range c.handlers {
+		if j == tx.from || c.handlers[j] == nil {
+			continue
+		}
+		if tx.pkt.To != packet.Broadcast && tx.pkt.To != j {
+			continue
+		}
+		if !c.model.InRange(tx.from, j, now) {
+			continue
+		}
+		if c.collidedAt(j, tx, now) {
+			continue
+		}
+		c.handlers[j](tx.pkt.Clone(), now)
+	}
+	c.prune(now)
+}
+
+// collidedAt reports whether receiver j heard another transmission that
+// overlapped tx in time — the hidden-terminal destruction case.
+func (c *CommonChannel) collidedAt(j int, tx *transmission, now time.Duration) bool {
+	for _, other := range c.active {
+		if other == tx {
+			continue
+		}
+		if other.start >= tx.end || other.end <= tx.start {
+			continue // no temporal overlap
+		}
+		if other.from == j {
+			return true // receiver was itself transmitting
+		}
+		if c.model.InRange(other.from, j, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// prune drops transmissions too old to matter for future overlap checks.
+func (c *CommonChannel) prune(now time.Duration) {
+	keep := c.active[:0]
+	for _, tx := range c.active {
+		if tx.end+collisionHorizon > now {
+			keep = append(keep, tx)
+		}
+	}
+	// Clear the tail so completed transmissions can be collected.
+	for i := len(keep); i < len(c.active); i++ {
+		c.active[i] = nil
+	}
+	c.active = keep
+}

@@ -1,0 +1,142 @@
+package mac
+
+import (
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/packet"
+	"rica/internal/sim"
+)
+
+// DeliverFunc handles a data packet arriving at a terminal over a data
+// channel.
+type DeliverFunc func(pkt *packet.Packet, now time.Duration)
+
+// SendResult reports the outcome of a data-plane transmission to the
+// sending queue.
+type SendResult struct {
+	// OK is true when the packet was delivered and acknowledged.
+	OK bool
+	// Class is the channel class the transmission used (ClassNone when the
+	// link did not exist at send time). The forwarding layer accumulates it
+	// into the per-packet link-throughput trace for Figure 5(a).
+	Class channel.Class
+}
+
+// DataPlane transmits data packets over per-pair CDMA channels. Each
+// ordered pair's PN code is an independent server, so concurrent Send
+// calls on different links never contend; serialization of packets on one
+// link is the caller's job (the network layer's per-link queue).
+type DataPlane struct {
+	kernel   *sim.Kernel
+	model    *channel.Model
+	handlers []DeliverFunc
+
+	// MaxRetries is how many times a transmission that lost its receiver
+	// mid-flight is retried before the link is declared broken.
+	MaxRetries int
+
+	// OnAck, if set, observes acknowledgment transmissions; the paper's
+	// overhead metric includes data ACK bits.
+	OnAck func(sizeBytes int, now time.Duration)
+
+	// OnDataTransmit, if set, observes every data transmission attempt
+	// with the class it used (ClassNone for blind attempts into a broken
+	// link). The energy meter hangs off this hook.
+	OnDataTransmit func(from, to int, class channel.Class, sizeBytes int, now time.Duration)
+}
+
+// NewDataPlane builds the data plane over the given channel model.
+func NewDataPlane(kernel *sim.Kernel, model *channel.Model) *DataPlane {
+	return &DataPlane{
+		kernel:     kernel,
+		model:      model,
+		handlers:   make([]DeliverFunc, model.N()),
+		MaxRetries: 1,
+	}
+}
+
+// Register installs the data delivery handler for terminal id.
+func (d *DataPlane) Register(id int, h DeliverFunc) {
+	if d.handlers[id] != nil {
+		panic("mac: duplicate DataPlane.Register")
+	}
+	d.handlers[id] = h
+}
+
+// Send transmits pkt from terminal from to neighbor to, invoking done
+// exactly once with the outcome. The sequence modelled per attempt:
+//
+//  1. Sample the link class; a non-existent link fails immediately (the
+//     receiver left radio range — the paper's link-break trigger).
+//  2. The packet occupies the link for size/throughput(class).
+//  3. If the receiver is still in range at arrival, it takes delivery and
+//     returns a per-hop ACK on the reverse PN code (counted as overhead);
+//     otherwise the attempt failed and is retried up to MaxRetries times.
+//
+// done is always invoked via the event queue, never synchronously, so
+// callers may hold per-queue state across the call.
+func (d *DataPlane) Send(from, to int, pkt *packet.Packet, done func(SendResult)) {
+	if from == to {
+		panic("mac: data send to self")
+	}
+	d.attempt(from, to, pkt, 0, done)
+}
+
+// ackTimeout is how long a sender waits for the per-hop ACK before
+// declaring the attempt failed.
+const ackTimeout = 10 * time.Millisecond
+
+func (d *DataPlane) attempt(from, to int, pkt *packet.Packet, tries int, done func(SendResult)) {
+	now := d.kernel.Now()
+	class := d.model.Class(from, to, now)
+	if d.OnDataTransmit != nil {
+		d.OnDataTransmit(from, to, class, pkt.Size, now)
+	}
+	if !class.Usable() {
+		// The receiver is gone, but the sender cannot know that yet: it
+		// transmits blind at the most robust rate and only concludes
+		// failure when no ACK arrives. This detection latency is what
+		// stalls a queue behind a broken link.
+		blind := channel.ClassD.TransmitDuration(pkt.Size) + ackTimeout
+		d.kernel.Schedule(blind, func(time.Duration) {
+			if tries < d.MaxRetries {
+				d.attempt(from, to, pkt, tries+1, done)
+				return
+			}
+			done(SendResult{OK: false, Class: channel.ClassNone})
+		})
+		return
+	}
+	txDur := class.TransmitDuration(pkt.Size)
+	d.kernel.Schedule(txDur, func(arrival time.Duration) {
+		if !d.model.InRange(from, to, arrival) {
+			// Receiver moved out mid-transmission.
+			if tries < d.MaxRetries {
+				d.attempt(from, to, pkt, tries+1, done)
+				return
+			}
+			done(SendResult{OK: false, Class: class})
+			return
+		}
+		// Delivery succeeded; the short reverse-code ACK completes the
+		// exchange. ACK loss is not modelled separately (the data-arrival
+		// range check covers the vulnerable window) but its airtime both
+		// counts as overhead and occupies the exchange.
+		if d.OnAck != nil {
+			d.OnAck(packet.SizeAck, arrival)
+		}
+		// Per-hop quality trace for the paper's route-quality figures:
+		// hops taken, per-hop class throughputs, and CSI hop distances.
+		pkt.TraversedHops++
+		pkt.TraversedBps += class.ThroughputBps()
+		pkt.TraversedCSI += class.HopDistance()
+		if h := d.handlers[to]; h != nil {
+			h(pkt, arrival)
+		}
+		ackDur := class.TransmitDuration(packet.SizeAck)
+		d.kernel.Schedule(ackDur, func(time.Duration) {
+			done(SendResult{OK: true, Class: class})
+		})
+	})
+}

@@ -1,0 +1,102 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/packet"
+)
+
+// TestBlindFailureTakesDetectionTime: a transmission into a vanished link
+// must not fail instantly — the sender burns a worst-class airtime plus
+// the ACK timeout per attempt before reporting the break.
+func TestBlindFailureTakesDetectionTime(t *testing.T) {
+	k, m := testSetup(fixedPos{X: 0, Y: 0}, fixedPos{X: 400, Y: 0})
+	d := NewDataPlane(k, m)
+	d.MaxRetries = 1
+	d.Register(0, func(*packet.Packet, time.Duration) {})
+	d.Register(1, func(*packet.Packet, time.Duration) {})
+	var failedAt time.Duration
+	d.Send(0, 1, dataPkt(0, 1), func(r SendResult) {
+		if r.OK {
+			t.Error("send into the void succeeded")
+		}
+		failedAt = k.Now()
+	})
+	k.Run(time.Second)
+	// Two blind attempts: 2 × (512 B at 50 kbps ≈ 81.9 ms + 10 ms timeout).
+	min := 2 * (80*time.Millisecond + 10*time.Millisecond)
+	if failedAt < min {
+		t.Fatalf("failure reported after %v, want ≥ %v (blind detection latency)", failedAt, min)
+	}
+	if failedAt > 300*time.Millisecond {
+		t.Fatalf("failure detection took %v, implausibly long", failedAt)
+	}
+}
+
+// TestOnDataTransmitHookSeesEveryAttempt: the energy meter's hook fires
+// once per attempt, including blind ones, with the class used.
+func TestOnDataTransmitHookSeesEveryAttempt(t *testing.T) {
+	k, m := testSetup(fixedPos{X: 0, Y: 0}, fixedPos{X: 400, Y: 0})
+	d := NewDataPlane(k, m)
+	d.MaxRetries = 2
+	d.Register(0, func(*packet.Packet, time.Duration) {})
+	d.Register(1, func(*packet.Packet, time.Duration) {})
+	var classes []channel.Class
+	d.OnDataTransmit = func(from, to int, class channel.Class, size int, now time.Duration) {
+		classes = append(classes, class)
+	}
+	d.Send(0, 1, dataPkt(0, 1), func(SendResult) {})
+	k.Run(time.Second)
+	if len(classes) != 3 { // initial + 2 retries
+		t.Fatalf("hook fired %d times, want 3", len(classes))
+	}
+	for _, c := range classes {
+		if c != channel.ClassNone {
+			t.Fatalf("blind attempt reported class %v, want ClassNone", c)
+		}
+	}
+}
+
+// TestSuccessfulSendReportsUsedClass: for a working link the hook carries
+// the class the rate came from.
+func TestSuccessfulSendReportsUsedClass(t *testing.T) {
+	k, m := testSetup(fixedPos{X: 0, Y: 0}, fixedPos{X: 30, Y: 0})
+	d := NewDataPlane(k, m)
+	d.Register(0, func(*packet.Packet, time.Duration) {})
+	d.Register(1, func(*packet.Packet, time.Duration) {})
+	var hooked channel.Class
+	d.OnDataTransmit = func(_, _ int, class channel.Class, _ int, _ time.Duration) { hooked = class }
+	var result SendResult
+	d.Send(0, 1, dataPkt(0, 1), func(r SendResult) { result = r })
+	k.Run(time.Second)
+	if !result.OK {
+		t.Fatal("short link send failed")
+	}
+	if hooked != result.Class {
+		t.Fatalf("hook class %v != result class %v", hooked, result.Class)
+	}
+	if !hooked.Usable() {
+		t.Fatalf("hook class %v not usable", hooked)
+	}
+}
+
+// TestBroadcastAirtimeMatchesBitrate: a control packet's propagation delay
+// through the common channel equals its size at 250 kbps (plus nothing
+// else when the channel is idle).
+func TestBroadcastAirtimeMatchesBitrate(t *testing.T) {
+	k, m := testSetup(fixedPos{X: 0, Y: 0}, fixedPos{X: 100, Y: 0})
+	c := NewCommonChannel(k, m, rand.New(rand.NewSource(1)))
+	c.Register(0, func(*packet.Packet, time.Duration) {})
+	var deliveredAt time.Duration
+	c.Register(1, func(_ *packet.Packet, now time.Duration) { deliveredAt = now })
+	pkt := &packet.Packet{Type: packet.TypeRREQ, From: 0, To: packet.Broadcast, Size: 250} // 2000 bits
+	c.Send(pkt)
+	k.Run(time.Second)
+	want := 8 * time.Millisecond // 2000 bits / 250 kbps
+	if diff := deliveredAt - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rica/internal/network"
+	"rica/internal/packet"
+)
+
+func mkDelivered(created, size int, hops int, bps float64) *packet.Packet {
+	return &packet.Packet{
+		Type: packet.TypeData, Size: size,
+		CreatedAt:     time.Duration(created) * time.Millisecond,
+		TraversedHops: hops, TraversedBps: bps,
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	c := NewCollector(100 * time.Second)
+	for i := 0; i < 4; i++ {
+		c.DataGenerated(&packet.Packet{}, 0)
+	}
+	// Two deliveries with 100 ms and 300 ms delay.
+	c.DataDelivered(mkDelivered(0, 512, 2, 500_000), 100*time.Millisecond)
+	c.DataDelivered(mkDelivered(0, 512, 4, 400_000), 300*time.Millisecond)
+	c.DataDropped(&packet.Packet{}, network.DropCongestion, 0)
+	c.DataDropped(&packet.Packet{}, network.DropExpired, 0)
+
+	s := c.Summary()
+	if s.Generated != 4 || s.Delivered != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.AvgDelay != 200*time.Millisecond {
+		t.Errorf("AvgDelay = %v, want 200ms", s.AvgDelay)
+	}
+	if s.DeliveryRatio != 0.5 {
+		t.Errorf("DeliveryRatio = %v, want 0.5", s.DeliveryRatio)
+	}
+	if s.AvgHops != 3 {
+		t.Errorf("AvgHops = %v, want 3", s.AvgHops)
+	}
+	// (500k+400k) summed bps over 6 hops = 150 kbps per hop.
+	if want := 900_000.0 / 6; math.Abs(s.AvgLinkThroughputBps-want) > 1e-9 {
+		t.Errorf("AvgLinkThroughput = %v, want %v", s.AvgLinkThroughputBps, want)
+	}
+	if s.DropTotal() != 2 {
+		t.Errorf("DropTotal = %d, want 2", s.DropTotal())
+	}
+}
+
+func TestOverheadAccounting(t *testing.T) {
+	c := NewCollector(10 * time.Second)
+	rreq := &packet.Packet{Type: packet.TypeRREQ, Size: packet.SizeRREQ}
+	for i := 0; i < 100; i++ {
+		c.ControlTransmitted(rreq, 0, 0)
+	}
+	for i := 0; i < 50; i++ {
+		c.AckTransmitted(packet.SizeAck, 0)
+	}
+	c.ControlDropped(rreq, 0, 0)
+	s := c.Summary()
+	wantBits := float64(100*packet.SizeRREQ*8 + 50*packet.SizeAck*8)
+	if got := s.OverheadBps * 10; math.Abs(got-wantBits) > 1e-9 {
+		t.Errorf("overhead bits = %v, want %v", got, wantBits)
+	}
+	if s.ControlPackets != 100 || s.ControlDropped != 1 {
+		t.Errorf("control counts: %+v", s)
+	}
+}
+
+func TestThroughputSeriesBuckets(t *testing.T) {
+	c := NewCollector(20 * time.Second)
+	// 512-byte packet delivered at t=1s (bucket 0) and two at t=5s (bucket 1).
+	c.DataGenerated(&packet.Packet{}, 0)
+	c.DataGenerated(&packet.Packet{}, 0)
+	c.DataGenerated(&packet.Packet{}, 0)
+	c.DataDelivered(mkDelivered(0, 512, 1, 250_000), time.Second)
+	c.DataDelivered(mkDelivered(0, 512, 1, 250_000), 5*time.Second)
+	c.DataDelivered(mkDelivered(0, 512, 1, 250_000), 5*time.Second)
+	s := c.Summary()
+	if len(s.ThroughputSeries) != 6 {
+		t.Fatalf("series length = %d, want 6 buckets for 20 s", len(s.ThroughputSeries))
+	}
+	if want := 512 * 8.0 / 4; s.ThroughputSeries[0] != want {
+		t.Errorf("bucket 0 = %v, want %v", s.ThroughputSeries[0], want)
+	}
+	if want := 2 * 512 * 8.0 / 4; s.ThroughputSeries[1] != want {
+		t.Errorf("bucket 1 = %v, want %v", s.ThroughputSeries[1], want)
+	}
+	if s.ThroughputSeries[2] != 0 {
+		t.Errorf("bucket 2 = %v, want 0", s.ThroughputSeries[2])
+	}
+}
+
+func TestEmptyRunSummaryIsFinite(t *testing.T) {
+	s := NewCollector(time.Second).Summary()
+	if s.AvgDelay != 0 || s.DeliveryRatio != 0 || s.AvgHops != 0 ||
+		s.AvgLinkThroughputBps != 0 || s.OverheadBps != 0 {
+		t.Fatalf("empty summary has nonzero derived stats: %+v", s)
+	}
+	if math.IsNaN(s.GoodputBps) {
+		t.Fatal("NaN in empty summary")
+	}
+}
+
+func TestDeliveryPastHorizonDoesNotPanic(t *testing.T) {
+	c := NewCollector(8 * time.Second)
+	c.DataGenerated(&packet.Packet{}, 0)
+	// In-flight packets can land just past the horizon.
+	c.DataDelivered(mkDelivered(0, 512, 1, 250_000), 9*time.Second)
+	s := c.Summary()
+	if s.Delivered != 1 {
+		t.Fatal("late delivery lost")
+	}
+}
+
+func TestSummarySnapshotIndependent(t *testing.T) {
+	c := NewCollector(time.Second)
+	c.DataDropped(&packet.Packet{}, network.DropNoRoute, 0)
+	s := c.Summary()
+	s.Dropped[network.DropNoRoute] = 99
+	if c.Summary().Dropped[network.DropNoRoute] != 1 {
+		t.Fatal("mutating a summary leaked into the collector")
+	}
+}

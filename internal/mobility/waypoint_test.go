@@ -1,0 +1,188 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rica/internal/geom"
+)
+
+var testField = geom.Field{Width: 1000, Height: 1000}
+
+func testCfg(maxSpeed float64) Config {
+	return Config{Field: testField, MaxSpeed: maxSpeed, Pause: 3 * time.Second}
+}
+
+func TestStaticNodeNeverMoves(t *testing.T) {
+	n := NewNode(testCfg(0), rand.New(rand.NewSource(1)))
+	p0 := n.Position(0)
+	for _, at := range []time.Duration{time.Second, time.Minute, time.Hour} {
+		if got := n.Position(at); got != p0 {
+			t.Fatalf("static node moved: %v at t=%v, started %v", got, at, p0)
+		}
+		if n.Moving(at) {
+			t.Fatalf("static node reports Moving at %v", at)
+		}
+	}
+}
+
+func TestInitialPositionInField(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		n := NewNode(testCfg(20), rand.New(rand.NewSource(seed)))
+		if p := n.Position(0); !testField.Contains(p) {
+			t.Fatalf("seed %d: initial position %v outside field", seed, p)
+		}
+	}
+}
+
+func TestPositionAlwaysInField(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		n := NewNode(testCfg(40), rand.New(rand.NewSource(seed)))
+		at := time.Duration(0)
+		for i := 0; i < int(steps); i++ {
+			at += 700 * time.Millisecond
+			if !testField.Contains(n.Position(at)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPositionContinuity verifies the trajectory has no teleports: over a
+// small dt the displacement is bounded by MaxSpeed*dt.
+func TestPositionContinuity(t *testing.T) {
+	const maxSpeed = 40.0
+	n := NewNode(testCfg(maxSpeed), rand.New(rand.NewSource(7)))
+	dt := 50 * time.Millisecond
+	prev := n.Position(0)
+	for at := dt; at < 10*time.Minute; at += dt {
+		cur := n.Position(at)
+		moved := cur.DistanceTo(prev)
+		bound := maxSpeed*dt.Seconds() + 1e-9
+		if moved > bound {
+			t.Fatalf("teleport at t=%v: moved %.3f m in %v (bound %.3f)", at, moved, dt, bound)
+		}
+		prev = cur
+	}
+}
+
+func TestPausesAtWaypoint(t *testing.T) {
+	cfg := testCfg(30)
+	n := NewNode(cfg, rand.New(rand.NewSource(3)))
+	// Find a moment the node is moving, then find its arrival and check the
+	// pause dwell.
+	var at time.Duration
+	for at = 0; at < time.Hour; at += 100 * time.Millisecond {
+		if n.Moving(at) {
+			break
+		}
+	}
+	if !n.Moving(at) {
+		t.Fatal("node never started moving")
+	}
+	arrive := n.arrive
+	pArrive := n.Position(arrive)
+	// During the pause the position must be constant.
+	for _, dt := range []time.Duration{0, time.Second, cfg.Pause - time.Millisecond} {
+		if got := n.Position(arrive + dt); got != pArrive {
+			t.Fatalf("moved during pause: %v at +%v, want %v", got, dt, pArrive)
+		}
+	}
+}
+
+func TestSpeedWithinBounds(t *testing.T) {
+	const maxSpeed = 25.0
+	n := NewNode(testCfg(maxSpeed), rand.New(rand.NewSource(11)))
+	for at := time.Duration(0); at < 20*time.Minute; at += 500 * time.Millisecond {
+		s := n.Speed(at)
+		if s < 0 || s > maxSpeed+1e-9 {
+			t.Fatalf("speed %v at t=%v outside [0, %v]", s, at, maxSpeed)
+		}
+		if !n.Moving(at) && s != 0 {
+			t.Fatalf("nonzero speed %v while paused at t=%v", s, at)
+		}
+	}
+}
+
+func TestDeterministicTrajectory(t *testing.T) {
+	a := NewNode(testCfg(20), rand.New(rand.NewSource(99)))
+	b := NewNode(testCfg(20), rand.New(rand.NewSource(99)))
+	for at := time.Duration(0); at < 5*time.Minute; at += 333 * time.Millisecond {
+		if a.Position(at) != b.Position(at) {
+			t.Fatalf("same seed diverged at t=%v", at)
+		}
+	}
+}
+
+func TestBackwardQueryWithinLegOK(t *testing.T) {
+	n := NewNode(testCfg(20), rand.New(rand.NewSource(5)))
+	p1 := n.Position(10 * time.Second)
+	_ = p1
+	// Re-querying the same instant (as multiple links do within one event)
+	// must be stable.
+	if n.Position(10*time.Second) != p1 {
+		t.Fatal("repeated query at same instant changed position")
+	}
+}
+
+func TestNegativeTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative-time query did not panic")
+		}
+	}()
+	n := NewNode(testCfg(20), rand.New(rand.NewSource(5)))
+	n.Position(-time.Second)
+}
+
+func TestNilRNGPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewNode(nil rng) did not panic")
+		}
+	}()
+	NewNode(testCfg(20), nil)
+}
+
+func TestNodeEventuallyMoves(t *testing.T) {
+	n := NewNode(testCfg(10), rand.New(rand.NewSource(13)))
+	p0 := n.Position(0)
+	moved := false
+	for at := time.Duration(0); at < time.Hour; at += time.Second {
+		if n.Position(at).DistanceTo(p0) > 1 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("mobile node did not move within an hour")
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if got := KmhToMs(72); got != 20 {
+		t.Errorf("KmhToMs(72) = %v, want 20", got)
+	}
+	if got := MsToKmh(20); got != 72 {
+		t.Errorf("MsToKmh(20) = %v, want 72", got)
+	}
+	f := func(v float64) bool {
+		return v != v /* NaN */ || MsToKmh(KmhToMs(v)) == v || abs(MsToKmh(KmhToMs(v))-v) < 1e-9*abs(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,102 @@
+// Package network provides the per-terminal runtime that sits between the
+// MAC layer and a routing protocol: store-and-forward link queues with the
+// paper's capacity (10 packets per adjacent-terminal connection) and
+// residency limit (3 s), local delivery, and the Agent/Env contract that
+// the five routing protocols plug into.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/packet"
+	"rica/internal/sim"
+)
+
+// DropReason classifies why a data packet died; the delivery-ratio
+// analysis in the paper (§III.C) attributes losses to congestion (buffer
+// overflow), buffer-lifetime expiry, link breaks, and routing failure.
+type DropReason int
+
+// Drop reasons.
+const (
+	DropCongestion DropReason = iota + 1 // per-link buffer full
+	DropExpired                          // exceeded 3 s buffer residency
+	DropNoRoute                          // routing gave up finding a route
+	DropLinkBreak                        // transmission failed, not repaired
+)
+
+var dropNames = map[DropReason]string{
+	DropCongestion: "congestion",
+	DropExpired:    "expired",
+	DropNoRoute:    "no-route",
+	DropLinkBreak:  "link-break",
+}
+
+// String names the reason for reports.
+func (r DropReason) String() string {
+	if s, ok := dropNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("DropReason(%d)", int(r))
+}
+
+// Recorder receives the data-plane lifecycle events the metrics layer
+// aggregates. Implemented by metrics.Collector.
+type Recorder interface {
+	DataGenerated(pkt *packet.Packet, now time.Duration)
+	DataDelivered(pkt *packet.Packet, now time.Duration)
+	DataDropped(pkt *packet.Packet, reason DropReason, now time.Duration)
+}
+
+// Agent is one terminal's routing protocol instance. The network layer
+// calls it; it acts through the Env it was constructed with.
+type Agent interface {
+	// Start runs once when the simulation begins (schedule periodic work
+	// here: beacons, CSI checks, LSA refresh).
+	Start(now time.Duration)
+	// HandleControl processes a routing packet from the common channel.
+	HandleControl(pkt *packet.Packet, now time.Duration)
+	// RouteData chooses what to do with a data packet that needs a next
+	// hop at this terminal — enqueue it (Env.EnqueueData), buffer it
+	// pending discovery, or drop it (Env.DropData).
+	RouteData(pkt *packet.Packet, now time.Duration)
+	// DataArrived observes every data packet arriving at this terminal
+	// over a data channel (both in transit and at the destination), before
+	// forwarding or delivery. pkt.From is the transmitting neighbour.
+	DataArrived(pkt *packet.Packet, now time.Duration)
+	// LinkFailed reports that sending pkt to neighbour next failed after
+	// MAC retries: the link is gone. The failed packet is the agent's to
+	// reroute or drop; queued packets behind it are re-presented through
+	// RouteData afterwards.
+	LinkFailed(next int, pkt *packet.Packet, now time.Duration)
+}
+
+// Env is the service surface a Node exposes to its Agent.
+type Env interface {
+	// ID is this terminal's identifier.
+	ID() int
+	// NumNodes is the network size (terminals are 0..NumNodes-1).
+	NumNodes() int
+	// Now is the current virtual time.
+	Now() time.Duration
+	// Schedule runs fn after d; the returned timer can cancel it.
+	Schedule(d time.Duration, fn func(now time.Duration)) *sim.Timer
+	// SendControl transmits a routing packet on the common channel,
+	// stamping pkt.From with this terminal's id.
+	SendControl(pkt *packet.Packet)
+	// EnqueueData places a data packet on the link queue toward next.
+	EnqueueData(pkt *packet.Packet, next int)
+	// DropData discards a data packet, recording the reason.
+	DropData(pkt *packet.Packet, reason DropReason)
+	// LinkClass measures the instantaneous CSI of the link to neighbour j
+	// (the measurement the paper's terminals make on packet reception).
+	LinkClass(j int) channel.Class
+	// QueueBacklog reports the total number of data packets buffered at
+	// this terminal (ABR's load-aware route selection reads it).
+	QueueBacklog() int
+	// Rand is this terminal's private randomness (jitter, backoff).
+	Rand() *rand.Rand
+}

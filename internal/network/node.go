@@ -1,0 +1,290 @@
+package network
+
+import (
+	"math/rand"
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/mac"
+	"rica/internal/packet"
+	"rica/internal/sim"
+)
+
+// NodeConfig sets the store-and-forward parameters. Defaults follow the
+// paper: 10-packet buffers per adjacent-terminal connection, 3 s maximum
+// buffer residency.
+type NodeConfig struct {
+	BufferCap      int
+	BufferLifetime time.Duration
+}
+
+// DefaultNodeConfig returns the paper's settings.
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{BufferCap: 10, BufferLifetime: 3 * time.Second}
+}
+
+// Node is one mobile terminal's network runtime. It owns the per-neighbour
+// link queues, bridges the MAC layer to the routing Agent, and implements
+// Env for that agent.
+type Node struct {
+	id     int
+	n      int
+	kernel *sim.Kernel
+	common *mac.CommonChannel
+	data   *mac.DataPlane
+	model  *channel.Model
+	rng    *rand.Rand
+	rec    Recorder
+	cfg    NodeConfig
+	agent  Agent
+
+	queues map[int]*linkQueue
+}
+
+var _ Env = (*Node)(nil)
+
+// NewNode wires a terminal into both MAC planes. The agent is attached
+// separately (SetAgent) because agents are constructed around the Env the
+// node provides.
+func NewNode(id int, kernel *sim.Kernel, common *mac.CommonChannel, data *mac.DataPlane,
+	model *channel.Model, rng *rand.Rand, rec Recorder, cfg NodeConfig) *Node {
+	if cfg.BufferCap <= 0 {
+		panic("network: BufferCap must be positive")
+	}
+	nd := &Node{
+		id:     id,
+		n:      model.N(),
+		kernel: kernel,
+		common: common,
+		data:   data,
+		model:  model,
+		rng:    rng,
+		rec:    rec,
+		cfg:    cfg,
+		queues: make(map[int]*linkQueue),
+	}
+	common.Register(id, nd.onControl)
+	data.Register(id, nd.onData)
+	return nd
+}
+
+// SetAgent attaches the routing protocol instance. Must be called before
+// Start.
+func (nd *Node) SetAgent(a Agent) { nd.agent = a }
+
+// Agent returns the attached routing agent (diagnostics, tests).
+func (nd *Node) Agent() Agent { return nd.agent }
+
+// Start boots the routing agent.
+func (nd *Node) Start() {
+	if nd.agent == nil {
+		panic("network: Start before SetAgent")
+	}
+	nd.agent.Start(nd.kernel.Now())
+}
+
+// OriginateData injects a locally generated data packet (the traffic
+// generator's entry point). The packet's Src must be this terminal.
+func (nd *Node) OriginateData(pkt *packet.Packet, now time.Duration) {
+	if pkt.Src != nd.id {
+		panic("network: OriginateData with foreign Src")
+	}
+	nd.rec.DataGenerated(pkt, now)
+	if pkt.Dst == nd.id {
+		nd.rec.DataDelivered(pkt, now) // degenerate self-flow
+		return
+	}
+	nd.agent.RouteData(pkt, now)
+}
+
+// onControl delivers a common-channel packet to the agent.
+func (nd *Node) onControl(pkt *packet.Packet, now time.Duration) {
+	nd.agent.HandleControl(pkt, now)
+}
+
+// onData handles a data packet arriving over a data channel.
+func (nd *Node) onData(pkt *packet.Packet, now time.Duration) {
+	nd.agent.DataArrived(pkt, now)
+	if pkt.Dst == nd.id {
+		nd.rec.DataDelivered(pkt, now)
+		return
+	}
+	nd.agent.RouteData(pkt, now)
+}
+
+// --- Env implementation -------------------------------------------------
+
+// ID implements Env.
+func (nd *Node) ID() int { return nd.id }
+
+// NumNodes implements Env.
+func (nd *Node) NumNodes() int { return nd.n }
+
+// Now implements Env.
+func (nd *Node) Now() time.Duration { return nd.kernel.Now() }
+
+// Schedule implements Env.
+func (nd *Node) Schedule(d time.Duration, fn func(now time.Duration)) *sim.Timer {
+	return nd.kernel.Schedule(d, fn)
+}
+
+// SendControl implements Env.
+func (nd *Node) SendControl(pkt *packet.Packet) {
+	pkt.From = nd.id
+	nd.common.Send(pkt)
+}
+
+// DropData implements Env.
+func (nd *Node) DropData(pkt *packet.Packet, reason DropReason) {
+	nd.rec.DataDropped(pkt, reason, nd.kernel.Now())
+}
+
+// LinkClass implements Env.
+func (nd *Node) LinkClass(j int) channel.Class {
+	return nd.model.Class(nd.id, j, nd.kernel.Now())
+}
+
+// Rand implements Env.
+func (nd *Node) Rand() *rand.Rand { return nd.rng }
+
+// EnqueueData implements Env: store-and-forward toward neighbour next.
+func (nd *Node) EnqueueData(pkt *packet.Packet, next int) {
+	if next == nd.id {
+		panic("network: enqueue toward self")
+	}
+	q := nd.queues[next]
+	if q == nil {
+		q = &linkQueue{}
+		nd.queues[next] = q
+	}
+	if q.len() >= nd.cfg.BufferCap {
+		nd.rec.DataDropped(pkt, DropCongestion, nd.kernel.Now())
+		return
+	}
+	q.push(queued{pkt: pkt, at: nd.kernel.Now()})
+	if !q.busy {
+		nd.serve(next, q)
+	}
+}
+
+// QueueLen reports the backlog toward neighbour next.
+func (nd *Node) QueueLen(next int) int {
+	if q := nd.queues[next]; q != nil {
+		return q.len()
+	}
+	return 0
+}
+
+// QueueBacklog implements Env: total packets buffered across all links.
+func (nd *Node) QueueBacklog() int {
+	total := 0
+	for _, q := range nd.queues {
+		total += q.len()
+	}
+	return total
+}
+
+// serve transmits the head of q toward next, then continues until the
+// queue drains. Expired packets are discarded at dequeue time, matching
+// the paper's "kept in the buffer for no more than three seconds" rule.
+func (nd *Node) serve(next int, q *linkQueue) {
+	now := nd.kernel.Now()
+	for {
+		head, ok := q.peek()
+		if !ok {
+			return
+		}
+		if now-head.at > nd.cfg.BufferLifetime {
+			q.pop()
+			nd.rec.DataDropped(head.pkt, DropExpired, now)
+			continue
+		}
+		break
+	}
+	head, _ := q.peek()
+	q.busy = true
+	pkt := head.pkt
+	pkt.From = nd.id
+	pkt.To = next
+	nd.data.Send(nd.id, next, pkt, func(res mac.SendResult) {
+		q.pop()
+		q.busy = false
+		if !res.OK {
+			nd.linkFailed(next, q, pkt)
+			return
+		}
+		if q.len() > 0 {
+			nd.serve(next, q)
+		}
+	})
+}
+
+// linkFailed hands the failed packet to the agent, then re-presents every
+// packet still queued toward the dead neighbour so the (now updated)
+// routing state can redirect or drop them.
+func (nd *Node) linkFailed(next int, q *linkQueue, failed *packet.Packet) {
+	now := nd.kernel.Now()
+	// Drain before notifying the agent: LinkFailed may synchronously
+	// enqueue onto this same queue (restarting its server), and the drain
+	// must not steal that new in-flight packet.
+	backlog := q.drain()
+	nd.agent.LinkFailed(next, failed, now)
+	for _, entry := range backlog {
+		if now-entry.at > nd.cfg.BufferLifetime {
+			nd.rec.DataDropped(entry.pkt, DropExpired, now)
+			continue
+		}
+		nd.agent.RouteData(entry.pkt, now)
+	}
+}
+
+// queued is one buffered data packet with its enqueue time.
+type queued struct {
+	pkt *packet.Packet
+	at  time.Duration
+}
+
+// linkQueue is a FIFO ring over a slice; head compaction is amortized.
+type linkQueue struct {
+	items []queued
+	head  int
+	busy  bool
+}
+
+func (q *linkQueue) len() int { return len(q.items) - q.head }
+
+func (q *linkQueue) push(e queued) { q.items = append(q.items, e) }
+
+func (q *linkQueue) peek() (queued, bool) {
+	if q.len() == 0 {
+		return queued{}, false
+	}
+	return q.items[q.head], true
+}
+
+func (q *linkQueue) pop() (queued, bool) {
+	if q.len() == 0 {
+		return queued{}, false
+	}
+	e := q.items[q.head]
+	q.items[q.head] = queued{} // release the packet reference
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return e, true
+}
+
+// drain removes and returns all queued entries.
+func (q *linkQueue) drain() []queued {
+	out := make([]queued, 0, q.len())
+	for {
+		e, ok := q.pop()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,203 @@
+// Package packet defines the packet taxonomy shared by the MAC, network
+// and routing layers: data and acknowledgment packets on the CDMA data
+// channels, and the routing/control packets that ride the common channel
+// (RREQ, RREP, CSI-checking, RUPD, REER, local queries, beacons, LSAs).
+//
+// Packets are plain in-memory structs — this is a simulator, so there is
+// no wire encoding — but every type carries the byte size it would occupy
+// on air, because the paper's routing-overhead metric (Figure 4) counts
+// transmitted routing bits.
+package packet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Type discriminates packets. The zero value is invalid so that a
+// forgotten initialization fails loudly.
+type Type int
+
+// Packet types. Data and Ack use CDMA data channels; everything else is a
+// routing packet on the common channel.
+const (
+	TypeInvalid Type = iota
+	TypeData         // application payload, store-and-forward
+	TypeAck          // per-hop data acknowledgment (PN(B,A) code)
+	TypeRREQ         // route request flood
+	TypeRREP         // route reply, unicast along reverse path
+	TypeCSIC         // RICA CSI-checking packet, TTL-scoped broadcast
+	TypeRUPD         // RICA route update from the source
+	TypeREER         // route error, unicast upstream
+	TypeLQ           // localized query (ABR local repair, BGCA partial reroute)
+	TypeLREP         // localized query reply
+	TypeBeacon       // ABR associativity beacon
+	TypeLSA          // link-state advertisement flood
+)
+
+var typeNames = map[Type]string{
+	TypeData:   "DATA",
+	TypeAck:    "ACK",
+	TypeRREQ:   "RREQ",
+	TypeRREP:   "RREP",
+	TypeCSIC:   "CSIC",
+	TypeRUPD:   "RUPD",
+	TypeREER:   "REER",
+	TypeLQ:     "LQ",
+	TypeLREP:   "LREP",
+	TypeBeacon: "BEACON",
+	TypeLSA:    "LSA",
+}
+
+// String returns the conventional short name of the type.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// IsRouting reports whether the type is a routing/control packet, i.e.
+// whether its bits count toward the paper's routing-overhead metric when
+// transmitted on the common channel. Data ACKs also count toward overhead
+// (paper §III.A) but travel on data channels; callers account them there.
+func (t Type) IsRouting() bool {
+	switch t {
+	case TypeRREQ, TypeRREP, TypeCSIC, TypeRUPD, TypeREER, TypeLQ, TypeLREP, TypeBeacon, TypeLSA:
+		return true
+	default:
+		return false
+	}
+}
+
+// Broadcast is the To value of a link-level broadcast.
+const Broadcast = -1
+
+// Default on-air sizes in bytes, patterned after the corresponding IETF
+// MANET packet formats (AODV RFC 3561 sizes for RREQ/RREP/RERR; small
+// fixed beacons). The data payload size is the paper's 512 bytes.
+const (
+	SizeData     = 512
+	SizeAck      = 8
+	SizeRREQ     = 24
+	SizeRREP     = 20
+	SizeCSIC     = 20
+	SizeRUPD     = 16
+	SizeREER     = 16
+	SizeLQ       = 24
+	SizeLREP     = 20
+	SizeBeacon   = 12
+	SizeLSABase  = 24 // LSA header; add SizeLSAEntry per advertised link
+	SizeLSAEntry = 8
+)
+
+// SizeOf reports the default on-air size for a packet type. LSA sizes
+// depend on the entry count; use LSASize for those.
+func SizeOf(t Type) int {
+	switch t {
+	case TypeData:
+		return SizeData
+	case TypeAck:
+		return SizeAck
+	case TypeRREQ:
+		return SizeRREQ
+	case TypeRREP:
+		return SizeRREP
+	case TypeCSIC:
+		return SizeCSIC
+	case TypeRUPD:
+		return SizeRUPD
+	case TypeREER:
+		return SizeREER
+	case TypeLQ:
+		return SizeLQ
+	case TypeLREP:
+		return SizeLREP
+	case TypeBeacon:
+		return SizeBeacon
+	case TypeLSA:
+		return SizeLSABase
+	default:
+		panic(fmt.Sprintf("packet: SizeOf(%v)", t))
+	}
+}
+
+// LSASize reports the on-air size of an LSA advertising n links.
+func LSASize(entries int) int { return SizeLSABase + SizeLSAEntry*entries }
+
+// Packet is the unit of transmission at every layer. Fields divide into
+// identity (Type, ID), end-to-end addressing (Src, Dst), link-level
+// addressing (From, To), protocol state (BroadcastID, TTL, HopCount,
+// GeoHops, Via), and measurement bookkeeping (CreatedAt, Traversed*).
+type Packet struct {
+	Type Type
+	// ID is unique per simulation run; it identifies a packet across hops
+	// for duplicate suppression and metrics tracing.
+	ID uint64
+	// Src and Dst are the end-to-end endpoints (flow source/destination for
+	// data; protocol roles for control packets, e.g. a CSIC's Src is the
+	// data source being served even though the packet originates at Dst).
+	Src, Dst int
+	// From and To are per-hop: sender and intended receiver of this
+	// transmission. To == Broadcast for floods.
+	From, To int
+	// Size is the on-air size in bytes.
+	Size int
+	// CreatedAt is the generation time of the end-to-end packet (data) or
+	// of the control exchange; end-to-end delay = delivery − CreatedAt.
+	CreatedAt time.Duration
+
+	// BroadcastID identifies a flood instance: (Origin of flood, Dst,
+	// BroadcastID) dedupe rebroadcasts. Each new flood increments it.
+	BroadcastID uint32
+	// TTL bounds flood scope in geographic hops; ≤ 0 means unlimited for
+	// full floods. Decremented per rebroadcast.
+	TTL int
+	// HopCount accumulates the CSI-based hop distance (RICA/BGCA floods)
+	// or plain hop count (AODV), per the originating protocol.
+	HopCount float64
+	// GeoHops counts geographic (per-transmission) hops taken so far.
+	GeoHops int
+	// Via names the terminal a rebroadcast CSIC was received from, so the
+	// overhearing downstream terminal can learn its possible upstream
+	// (paper §II.C). Also used by REER for the reporting terminal's ID.
+	Via int
+
+	// TraversedHops, TraversedBps and TraversedCSI accumulate, for
+	// delivered data packets, the geographic hop count, the sum of per-hop
+	// class throughputs, and the sum of per-hop CSI hop distances (the
+	// paper's "hop" unit); figures 5(a)/5(b) average these.
+	TraversedHops int
+	TraversedBps  float64
+	TraversedCSI  float64
+
+	// Payload carries protocol-specific content (e.g. LSA link lists).
+	Payload any
+}
+
+// Clone returns a shallow copy; rebroadcast paths copy the packet so each
+// hop can edit TTL/HopCount without aliasing the original. Payload is
+// shared — protocols treat payloads as immutable once attached.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}
+
+// FloodKey identifies a flood instance for duplicate suppression tables.
+type FloodKey struct {
+	Origin      int
+	Dst         int
+	BroadcastID uint32
+	Kind        Type
+}
+
+// Key builds the duplicate-suppression key for flood packets. Origin is
+// taken from Src for source-originated floods (RREQ, LQ, LSA) and Dst for
+// destination-originated ones (CSIC); the packet type disambiguates.
+func (p *Packet) Key() FloodKey {
+	origin := p.Src
+	if p.Type == TypeCSIC {
+		origin = p.Dst
+	}
+	return FloodKey{Origin: origin, Dst: p.Dst, BroadcastID: p.BroadcastID, Kind: p.Type}
+}

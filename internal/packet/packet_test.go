@@ -1,0 +1,120 @@
+package packet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		TypeData:   "DATA",
+		TypeAck:    "ACK",
+		TypeRREQ:   "RREQ",
+		TypeRREP:   "RREP",
+		TypeCSIC:   "CSIC",
+		TypeRUPD:   "RUPD",
+		TypeREER:   "REER",
+		TypeLQ:     "LQ",
+		TypeLREP:   "LREP",
+		TypeBeacon: "BEACON",
+		TypeLSA:    "LSA",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(ty), got, want)
+		}
+	}
+	if got := Type(99).String(); got != "Type(99)" {
+		t.Errorf("unknown type String = %q", got)
+	}
+}
+
+func TestIsRoutingPartition(t *testing.T) {
+	routing := []Type{TypeRREQ, TypeRREP, TypeCSIC, TypeRUPD, TypeREER, TypeLQ, TypeLREP, TypeBeacon, TypeLSA}
+	for _, ty := range routing {
+		if !ty.IsRouting() {
+			t.Errorf("%v.IsRouting() = false, want true", ty)
+		}
+	}
+	for _, ty := range []Type{TypeData, TypeAck, TypeInvalid} {
+		if ty.IsRouting() {
+			t.Errorf("%v.IsRouting() = true, want false", ty)
+		}
+	}
+}
+
+func TestSizeOfCoversAllValidTypes(t *testing.T) {
+	for _, ty := range []Type{TypeData, TypeAck, TypeRREQ, TypeRREP, TypeCSIC, TypeRUPD, TypeREER, TypeLQ, TypeLREP, TypeBeacon, TypeLSA} {
+		if s := SizeOf(ty); s <= 0 {
+			t.Errorf("SizeOf(%v) = %d, want positive", ty, s)
+		}
+	}
+	if SizeOf(TypeData) != 512 {
+		t.Errorf("data packet size = %d, want the paper's 512 bytes", SizeOf(TypeData))
+	}
+}
+
+func TestSizeOfInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SizeOf(TypeInvalid) did not panic")
+		}
+	}()
+	SizeOf(TypeInvalid)
+}
+
+func TestLSASize(t *testing.T) {
+	if got := LSASize(0); got != SizeLSABase {
+		t.Errorf("LSASize(0) = %d, want %d", got, SizeLSABase)
+	}
+	if got := LSASize(5); got != SizeLSABase+5*SizeLSAEntry {
+		t.Errorf("LSASize(5) = %d", got)
+	}
+}
+
+func TestCloneIsIndependentShallowCopy(t *testing.T) {
+	p := &Packet{
+		Type: TypeRREQ, ID: 7, Src: 1, Dst: 2, From: 3, To: Broadcast,
+		Size: SizeRREQ, CreatedAt: time.Second, BroadcastID: 4, TTL: 5,
+		HopCount: 3.33, GeoHops: 2,
+	}
+	q := p.Clone()
+	if *q != *p {
+		t.Fatal("clone differs from original")
+	}
+	q.HopCount = 99
+	q.TTL = 0
+	if p.HopCount != 3.33 || p.TTL != 5 {
+		t.Fatal("mutating the clone changed the original")
+	}
+}
+
+func TestFloodKeyDistinguishesDirections(t *testing.T) {
+	rreq := &Packet{Type: TypeRREQ, Src: 1, Dst: 2, BroadcastID: 9}
+	csic := &Packet{Type: TypeCSIC, Src: 1, Dst: 2, BroadcastID: 9}
+	if rreq.Key() == csic.Key() {
+		t.Fatal("RREQ and CSIC floods with equal ids must have distinct keys")
+	}
+	if rreq.Key().Origin != 1 {
+		t.Errorf("RREQ flood origin = %d, want Src 1", rreq.Key().Origin)
+	}
+	if csic.Key().Origin != 2 {
+		t.Errorf("CSIC flood origin = %d, want Dst 2 (receiver-initiated)", csic.Key().Origin)
+	}
+}
+
+func TestFloodKeyDedupesRebroadcasts(t *testing.T) {
+	orig := &Packet{Type: TypeRREQ, Src: 1, Dst: 2, BroadcastID: 3, From: 1, TTL: 8, HopCount: 0}
+	hop := orig.Clone()
+	hop.From = 5
+	hop.TTL = 7
+	hop.HopCount = 1.67
+	hop.GeoHops = 1
+	if orig.Key() != hop.Key() {
+		t.Fatal("rebroadcast changed the flood key; duplicate suppression would fail")
+	}
+	next := &Packet{Type: TypeRREQ, Src: 1, Dst: 2, BroadcastID: 4}
+	if orig.Key() == next.Key() {
+		t.Fatal("new broadcast id must produce a new key")
+	}
+}

@@ -1,0 +1,76 @@
+package abr_test
+
+import (
+	"testing"
+	"time"
+
+	"rica/internal/metrics"
+	"rica/internal/network"
+	"rica/internal/routing/abr"
+	"rica/internal/routing/aodv"
+	"rica/internal/world"
+)
+
+func abrFactory(env network.Env, _ *world.World, _ int) network.Agent {
+	return abr.New(env, abr.DefaultConfig())
+}
+
+func aodvFactory(env network.Env, _ *world.World, _ int) network.Agent { return aodv.New(env) }
+
+func run(t *testing.T, f world.AgentFactory, speedKmh, rate float64, dur time.Duration, seed int64) metrics.Summary {
+	t.Helper()
+	cfg := world.DefaultConfig(speedKmh, rate)
+	cfg.Duration = dur
+	cfg.Seed = seed
+	return world.New(cfg, f).Run()
+}
+
+func TestStaticDelivery(t *testing.T) {
+	s := run(t, abrFactory, 0, 10, 30*time.Second, 1)
+	if s.DeliveryRatio < 0.7 {
+		t.Fatalf("static delivery = %.3f (drops %v), want > 0.7", s.DeliveryRatio, s.Dropped)
+	}
+}
+
+func TestMobileDelivery(t *testing.T) {
+	s := run(t, abrFactory, 40, 10, 30*time.Second, 2)
+	if s.DeliveryRatio < 0.45 {
+		t.Fatalf("mobile delivery = %.3f (drops %v), want > 0.45", s.DeliveryRatio, s.Dropped)
+	}
+}
+
+func TestBeaconsProduceBaselineOverhead(t *testing.T) {
+	// Even with zero traffic, 50 beaconing terminals emit ~50 packets/s.
+	cfg := world.DefaultConfig(10, 10)
+	cfg.Seed = 3
+	cfg.Duration = 20 * time.Second
+	cfg.Flows = nil
+	cfg.NumFlows = 10
+	cfg.FlowRate = 0 // flows exist but never fire
+	w := world.New(cfg, abrFactory)
+	s := w.Run()
+	if s.ControlPackets < 500 {
+		t.Fatalf("control packets = %d, want ≥ 500 from beaconing alone", s.ControlPackets)
+	}
+}
+
+// TestDeliversAboveAODVWhenMobile mirrors the paper's §III.C: ABR's stable
+// routes and local repair out-deliver AODV under mobility.
+func TestDeliversAboveAODVWhenMobile(t *testing.T) {
+	var abrSum, aodvSum float64
+	for seed := int64(20); seed < 23; seed++ {
+		abrSum += run(t, abrFactory, 40, 10, 40*time.Second, seed).DeliveryRatio
+		aodvSum += run(t, aodvFactory, 40, 10, 40*time.Second, seed).DeliveryRatio
+	}
+	if abrSum <= aodvSum {
+		t.Fatalf("ABR mean delivery %.3f not above AODV %.3f at 40 km/h", abrSum/3, aodvSum/3)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := run(t, abrFactory, 30, 10, 15*time.Second, 5)
+	b := run(t, abrFactory, 30, 10, 15*time.Second, 5)
+	if a.Delivered != b.Delivered || a.AvgDelay != b.AvgDelay || a.OverheadBps != b.OverheadBps {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,162 @@
+package abr
+
+import (
+	"testing"
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/packet"
+	"rica/internal/routing"
+	"rica/internal/routing/routingtest"
+)
+
+func newUnit(id int) (*Agent, *routingtest.Env) {
+	env := routingtest.New(id, 10)
+	for j := 0; j < 10; j++ {
+		env.Classes[j] = channel.ClassB
+	}
+	return New(env, DefaultConfig()), env
+}
+
+func beacon(from int) *packet.Packet {
+	return &packet.Packet{Type: packet.TypeBeacon, Src: from, From: from, To: packet.Broadcast, Size: packet.SizeBeacon}
+}
+
+func TestBeaconsAccumulateTicks(t *testing.T) {
+	a, env := newUnit(1)
+	for i := 0; i < 5; i++ {
+		a.HandleControl(beacon(7), env.Now())
+		env.Pump(time.Second)
+	}
+	if got := a.stability(7); got != 5 {
+		t.Fatalf("stability = %d after 5 beacons, want 5", got)
+	}
+	if got := a.stability(8); got != 0 {
+		t.Fatalf("unknown neighbour stability = %d, want 0", got)
+	}
+}
+
+func TestTicksCapAtTickCap(t *testing.T) {
+	a, env := newUnit(1)
+	for i := 0; i < 3*DefaultConfig().TickCap; i++ {
+		a.HandleControl(beacon(7), env.Now())
+		env.Pump(time.Second)
+	}
+	if got := a.stability(7); got != DefaultConfig().TickCap {
+		t.Fatalf("stability = %d, want capped at %d", got, DefaultConfig().TickCap)
+	}
+}
+
+func TestSilenceResetsAssociativity(t *testing.T) {
+	a, env := newUnit(1)
+	for i := 0; i < 4; i++ {
+		a.HandleControl(beacon(7), env.Now())
+		env.Pump(time.Second)
+	}
+	env.Pump(DefaultConfig().NeighborTimeout + time.Second)
+	if got := a.stability(7); got != 0 {
+		t.Fatalf("stability after silence = %d, want 0 (stale)", got)
+	}
+	// The next beacon restarts the count from 1, not 5.
+	a.HandleControl(beacon(7), env.Now())
+	if got := a.stability(7); got != 1 {
+		t.Fatalf("stability after re-association = %d, want 1", got)
+	}
+}
+
+func TestOwnBeaconCycleRuns(t *testing.T) {
+	a, env := newUnit(1)
+	a.Start(env.Now())
+	env.Pump(5500 * time.Millisecond)
+	n := len(env.SentOfType(packet.TypeBeacon))
+	if n < 4 || n > 6 {
+		t.Fatalf("beacons in 5.5 s = %d, want ≈5", n)
+	}
+}
+
+func TestBetterPrefersStability(t *testing.T) {
+	strongLong := routing.Candidate{Metric: 5, Payload: meta{Stab: 40, Load: 9}}
+	weakShort := routing.Candidate{Metric: 2, Payload: meta{Stab: 4, Load: 0}}
+	if !better(strongLong, weakShort) {
+		t.Fatal("high mean-stability route must beat a short unstable one")
+	}
+}
+
+func TestBetterTieBreaksOnLoadThenHops(t *testing.T) {
+	// Equal per-hop stability bands, clearly different load.
+	light := routing.Candidate{Metric: 4, Payload: meta{Stab: 40, Load: 1}}
+	heavy := routing.Candidate{Metric: 4, Payload: meta{Stab: 40, Load: 9}}
+	if !better(light, heavy) || better(heavy, light) {
+		t.Fatal("load must break stability ties")
+	}
+	// Equal stability band and load band: fewer hops wins.
+	short := routing.Candidate{Metric: 3, Payload: meta{Stab: 30, Load: 2}}
+	long := routing.Candidate{Metric: 5, Payload: meta{Stab: 50, Load: 2}}
+	if !better(short, long) {
+		t.Fatal("hop count must break remaining ties")
+	}
+}
+
+func TestAccumulateFoldsStabilityAndLoad(t *testing.T) {
+	a, env := newUnit(1)
+	for i := 0; i < 6; i++ {
+		a.HandleControl(beacon(7), env.Now())
+		env.Pump(time.Second)
+	}
+	env.Backlog = 3
+	pkt := &packet.Packet{Type: packet.TypeRREQ, Src: 0, Dst: 5, From: 7, HopCount: 2, Payload: meta{Stab: 10, Load: 1}}
+	a.accumulate(pkt)
+	if pkt.HopCount != 3 {
+		t.Fatalf("HopCount = %v, want 3", pkt.HopCount)
+	}
+	m := pkt.Payload.(meta)
+	if m.Stab != 16 { // 10 + 6 ticks
+		t.Fatalf("Stab = %v, want 16", m.Stab)
+	}
+	if m.Load != 4 { // 1 + backlog 3
+		t.Fatalf("Load = %v, want 4", m.Load)
+	}
+}
+
+func TestPivotHoldsAndRepairsOnBreak(t *testing.T) {
+	a, env := newUnit(3)
+	a.core.Table.Install(5, 4, 3, 3, env.Now())
+	data := &packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, From: 2, Size: packet.SizeData}
+	a.LinkFailed(4, data, env.Now())
+	if len(env.Drops) != 0 {
+		t.Fatalf("ABR pivot dropped instead of holding: %+v", env.Drops)
+	}
+	if n := len(env.SentOfType(packet.TypeLQ)); n != 1 {
+		t.Fatalf("LQ count = %d, want 1", n)
+	}
+	// Packets arriving during the repair also wait.
+	a.RouteData(&packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, From: 2, Size: packet.SizeData}, env.Now())
+	if len(env.Drops) != 0 || len(env.Enqueues) != 0 {
+		t.Fatalf("in-repair packet mishandled: drops %+v enqueues %+v", env.Drops, env.Enqueues)
+	}
+}
+
+func TestDestinationPrefersStableRoute(t *testing.T) {
+	a, env := newUnit(5)
+	// Neighbour 2 is an old associate, neighbour 3 brand new.
+	for i := 0; i < 10; i++ {
+		a.HandleControl(beacon(2), env.Now())
+		env.Pump(time.Second)
+	}
+	a.HandleControl(beacon(3), env.Now())
+	env.Reset()
+	mk := func(from int, m meta) *packet.Packet {
+		return &packet.Packet{
+			Type: packet.TypeRREQ, Src: 0, Dst: 5, From: from,
+			To: packet.Broadcast, Size: packet.SizeRREQ, BroadcastID: 1,
+			HopCount: 2, Payload: m,
+		}
+	}
+	a.HandleControl(mk(3, meta{Stab: 2, Load: 0}), env.Now())  // unstable path first
+	a.HandleControl(mk(2, meta{Stab: 25, Load: 0}), env.Now()) // stable path later
+	env.Pump(100 * time.Millisecond)
+	reps := env.SentOfType(packet.TypeRREP)
+	if len(reps) != 1 || reps[0].To != 2 {
+		t.Fatalf("destination chose %+v, want the stable candidate via 2", reps)
+	}
+}

@@ -1,0 +1,86 @@
+package aodv_test
+
+import (
+	"testing"
+	"time"
+
+	"rica/internal/metrics"
+	"rica/internal/network"
+	"rica/internal/routing/aodv"
+	"rica/internal/world"
+)
+
+func factory(env network.Env, _ *world.World, _ int) network.Agent { return aodv.New(env) }
+
+func run(t *testing.T, speedKmh, rate float64, dur time.Duration, seed int64) metrics.Summary {
+	t.Helper()
+	cfg := world.DefaultConfig(speedKmh, rate)
+	cfg.Duration = dur
+	cfg.Seed = seed
+	return world.New(cfg, factory).Run()
+}
+
+func TestStaticNetworkDeliversMost(t *testing.T) {
+	s := run(t, 0, 10, 30*time.Second, 1)
+	if s.Generated < 1000 {
+		t.Fatalf("generated only %d packets; traffic generator broken?", s.Generated)
+	}
+	if s.DeliveryRatio < 0.6 {
+		t.Fatalf("static delivery ratio = %.2f (delivered %d/%d, drops %v), want > 0.6",
+			s.DeliveryRatio, s.Delivered, s.Generated, s.Dropped)
+	}
+	if s.AvgDelay <= 0 || s.AvgDelay > time.Second {
+		t.Fatalf("avg delay = %v, implausible", s.AvgDelay)
+	}
+}
+
+func TestMobileNetworkStillFunctions(t *testing.T) {
+	s := run(t, 40, 10, 30*time.Second, 2)
+	if s.DeliveryRatio < 0.3 {
+		t.Fatalf("mobile delivery ratio = %.2f, want > 0.3 (drops %v)", s.DeliveryRatio, s.Dropped)
+	}
+	if s.OverheadBps <= 0 {
+		t.Fatal("no routing overhead recorded; discovery never ran?")
+	}
+}
+
+func TestHopCountsArePlausible(t *testing.T) {
+	s := run(t, 0, 10, 20*time.Second, 3)
+	if s.AvgHops < 1 || s.AvgHops > 10 {
+		t.Fatalf("avg hops = %.2f, want within [1, 10] on a 1000 m field with 250 m radios", s.AvgHops)
+	}
+	if s.AvgLinkThroughputBps < 50_000 || s.AvgLinkThroughputBps > 250_000 {
+		t.Fatalf("avg link throughput = %.0f outside class range", s.AvgLinkThroughputBps)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := run(t, 20, 10, 10*time.Second, 7)
+	b := run(t, 20, 10, 10*time.Second, 7)
+	if a.Generated != b.Generated || a.Delivered != b.Delivered ||
+		a.AvgDelay != b.AvgDelay || a.OverheadBps != b.OverheadBps {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := run(t, 20, 10, 10*time.Second, 8)
+	b := run(t, 20, 10, 10*time.Second, 9)
+	if a.Generated == b.Generated && a.Delivered == b.Delivered && a.AvgDelay == b.AvgDelay {
+		t.Fatal("different seeds produced identical runs; streams not independent")
+	}
+}
+
+func TestPacketConservation(t *testing.T) {
+	s := run(t, 40, 20, 20*time.Second, 4)
+	accounted := s.Delivered + s.DropTotal()
+	// In-flight and still-buffered packets at the horizon are the slack.
+	if accounted > s.Generated {
+		t.Fatalf("delivered %d + dropped %d exceeds generated %d",
+			s.Delivered, s.DropTotal(), s.Generated)
+	}
+	if slack := s.Generated - accounted; float64(slack) > 0.2*float64(s.Generated) {
+		t.Fatalf("%d packets unaccounted (generated %d, delivered %d, dropped %v)",
+			slack, s.Generated, s.Delivered, s.Dropped)
+	}
+}

@@ -1,0 +1,178 @@
+package aodv
+
+import (
+	"testing"
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/network"
+	"rica/internal/packet"
+	"rica/internal/routing"
+	"rica/internal/routing/routingtest"
+)
+
+func newUnit(id int) (*Agent, *routingtest.Env) {
+	env := routingtest.New(id, 10)
+	for j := 0; j < 10; j++ {
+		env.Classes[j] = channel.ClassB
+	}
+	return New(env), env
+}
+
+func rreq(src, dst, from int, bid uint32, hops float64) *packet.Packet {
+	return &packet.Packet{
+		Type: packet.TypeRREQ, Src: src, Dst: dst, From: from,
+		To: packet.Broadcast, Size: packet.SizeRREQ,
+		BroadcastID: bid, HopCount: hops,
+	}
+}
+
+func TestSourceFloodsWhenNoRoute(t *testing.T) {
+	a, env := newUnit(0)
+	data := &packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, Size: packet.SizeData}
+	a.RouteData(data, env.Now())
+	if len(env.Drops) != 0 {
+		t.Fatalf("source dropped instead of buffering: %+v", env.Drops)
+	}
+	reqs := env.SentOfType(packet.TypeRREQ)
+	if len(reqs) != 1 {
+		t.Fatalf("RREQ count = %d, want 1", len(reqs))
+	}
+	if reqs[0].Dst != 5 || reqs[0].TTL != 0 {
+		t.Fatalf("RREQ = %+v, want full flood toward 5", reqs[0])
+	}
+	// A second packet joins the same discovery without a new flood.
+	a.RouteData(&packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, Size: packet.SizeData}, env.Now())
+	if len(env.SentOfType(packet.TypeRREQ)) != 1 {
+		t.Fatal("second packet re-flooded while discovery pending")
+	}
+}
+
+func TestIntermediateDropsWithoutRoute(t *testing.T) {
+	a, env := newUnit(3)
+	data := &packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, From: 2, Size: packet.SizeData}
+	a.RouteData(data, env.Now())
+	if len(env.Drops) != 1 || env.Drops[0].Reason != network.DropNoRoute {
+		t.Fatalf("drops = %+v, want one no-route (AODV has no local repair)", env.Drops)
+	}
+}
+
+func TestDestinationRepliesToFirstRREQOnly(t *testing.T) {
+	a, env := newUnit(5)
+	a.HandleControl(rreq(0, 5, 2, 1, 3), env.Now())
+	a.HandleControl(rreq(0, 5, 3, 1, 1), env.Now()) // better but late: ignored
+	env.Pump(100 * time.Millisecond)
+	reps := env.SentOfType(packet.TypeRREP)
+	if len(reps) != 1 {
+		t.Fatalf("RREP count = %d, want 1 (first RREQ wins)", len(reps))
+	}
+	if reps[0].To != 2 {
+		t.Fatalf("RREP went to %d, want the first copy's sender 2", reps[0].To)
+	}
+	if reps[0].Src != 0 || reps[0].Dst != 5 {
+		t.Fatalf("RREP flow identity = (%d,%d)", reps[0].Src, reps[0].Dst)
+	}
+}
+
+func TestIntermediateRebroadcastsOncePerFlood(t *testing.T) {
+	a, env := newUnit(3)
+	a.HandleControl(rreq(0, 5, 2, 1, 0), env.Now())
+	a.HandleControl(rreq(0, 5, 4, 1, 0), env.Now()) // duplicate copy
+	env.Pump(50 * time.Millisecond)
+	if n := len(env.SentOfType(packet.TypeRREQ)); n != 1 {
+		t.Fatalf("rebroadcasts = %d, want 1 (plain AODV dedupes strictly)", n)
+	}
+	// A new broadcast id floods again.
+	a.HandleControl(rreq(0, 5, 2, 2, 0), env.Now())
+	env.Pump(50 * time.Millisecond)
+	if n := len(env.SentOfType(packet.TypeRREQ)); n != 2 {
+		t.Fatalf("new flood not rebroadcast (total %d)", n)
+	}
+}
+
+func TestRREPInstallsRouteAndRetraces(t *testing.T) {
+	a, env := newUnit(3)
+	// The flood passed through us from terminal 2.
+	a.HandleControl(rreq(0, 5, 2, 1, 0), env.Now())
+	env.Pump(50 * time.Millisecond)
+	env.Reset()
+	// The reply comes back from terminal 4 (downstream toward 5).
+	a.HandleControl(&packet.Packet{
+		Type: packet.TypeRREP, Src: 0, Dst: 5, From: 4, To: 3,
+		Size: packet.SizeRREP, BroadcastID: 1,
+	}, env.Now())
+	reps := env.SentOfType(packet.TypeRREP)
+	if len(reps) != 1 || reps[0].To != 2 {
+		t.Fatalf("RREP relay = %+v, want unicast to reverse pointer 2", reps)
+	}
+	// Forward route toward 5 through 4 must now exist.
+	data := &packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, From: 2, Size: packet.SizeData}
+	a.RouteData(data, env.Now())
+	if len(env.Enqueues) != 1 || env.Enqueues[0].Next != 4 {
+		t.Fatalf("enqueues = %+v, want via 4", env.Enqueues)
+	}
+}
+
+func TestRREPAtSourceFlushesPending(t *testing.T) {
+	a, env := newUnit(0)
+	data := &packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, Size: packet.SizeData}
+	a.RouteData(data, env.Now()) // buffered + flood
+	env.Reset()
+	a.HandleControl(&packet.Packet{
+		Type: packet.TypeRREP, Src: 0, Dst: 5, From: 1, To: 0,
+		Size: packet.SizeRREP, BroadcastID: 1,
+	}, env.Now())
+	if len(env.Enqueues) != 1 || env.Enqueues[0].Next != 1 {
+		t.Fatalf("pending packet not flushed onto the fresh route: %+v", env.Enqueues)
+	}
+}
+
+func TestDiscoveryRetriesThenGivesUp(t *testing.T) {
+	a, env := newUnit(0)
+	a.RouteData(&packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, Size: packet.SizeData}, env.Now())
+	// No reply ever arrives: expect MaxDiscoveryRetries re-floods, then a
+	// no-route drop of the pending packet.
+	env.Pump(10 * time.Second)
+	wantFloods := 1 + routing.MaxDiscoveryRetries
+	if n := len(env.SentOfType(packet.TypeRREQ)); n != wantFloods {
+		t.Fatalf("floods = %d, want %d", n, wantFloods)
+	}
+	if len(env.Drops) != 1 || env.Drops[0].Reason != network.DropNoRoute {
+		t.Fatalf("drops = %+v, want the buffered packet dropped no-route", env.Drops)
+	}
+}
+
+func TestLinkFailedAtIntermediateSendsREER(t *testing.T) {
+	a, env := newUnit(3)
+	// Learn the upstream pointer from transiting data.
+	a.DataArrived(&packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, From: 2}, env.Now())
+	data := &packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, From: 2, Size: packet.SizeData}
+	a.LinkFailed(4, data, env.Now())
+	if len(env.Drops) != 1 || env.Drops[0].Reason != network.DropLinkBreak {
+		t.Fatalf("drops = %+v, want link-break", env.Drops)
+	}
+	reers := env.SentOfType(packet.TypeREER)
+	if len(reers) != 1 || reers[0].To != 2 {
+		t.Fatalf("REER = %+v, want unicast upstream to 2", reers)
+	}
+}
+
+func TestRouteIdleExpires(t *testing.T) {
+	a, env := newUnit(3)
+	a.HandleControl(rreq(0, 5, 2, 1, 0), env.Now())
+	env.Pump(50 * time.Millisecond)
+	a.HandleControl(&packet.Packet{
+		Type: packet.TypeRREP, Src: 0, Dst: 5, From: 4, To: 3,
+		Size: packet.SizeRREP, BroadcastID: 1,
+	}, env.Now())
+	env.Reset()
+	env.Pump(ActiveRouteTimeout + time.Second)
+	data := &packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, From: 2, Size: packet.SizeData}
+	a.RouteData(data, env.Now())
+	if len(env.Enqueues) != 0 {
+		t.Fatal("idle route still used after ActiveRouteTimeout")
+	}
+	if len(env.Drops) != 1 {
+		t.Fatalf("drops = %+v, want stale-route drop", env.Drops)
+	}
+}

@@ -1,0 +1,180 @@
+package bgca
+
+import (
+	"testing"
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/packet"
+	"rica/internal/routing/routingtest"
+)
+
+func newUnit(id int, rate float64) (*Agent, *routingtest.Env) {
+	env := routingtest.New(id, 10)
+	for j := 0; j < 10; j++ {
+		env.Classes[j] = channel.ClassA
+	}
+	return New(env, DefaultConfig(rate)), env
+}
+
+// installRoute gives the agent a route to dst via next.
+func installRoute(a *Agent, dst, next int, env *routingtest.Env) {
+	a.core.Table.Install(dst, next, 2, 2, env.Now())
+}
+
+func TestGuardRequirementScalesWithLoad(t *testing.T) {
+	lo := DefaultConfig(10)
+	hi := DefaultConfig(20)
+	if lo.RequiredBps != 10*packet.SizeData*8 {
+		t.Fatalf("10 pkt/s requirement = %v", lo.RequiredBps)
+	}
+	if hi.RequiredBps != 2*lo.RequiredBps {
+		t.Fatalf("requirement does not scale: %v vs %v", hi.RequiredBps, lo.RequiredBps)
+	}
+	// Class D (50 kbps) violates the 10 pkt/s requirement (41 kbps)? No —
+	// 50 > 41, so only sub-D would. Class C (75 kbps) violates 20 pkt/s
+	// (82 kbps).
+	if channel.ClassD.ThroughputBps() < lo.RequiredBps {
+		t.Fatalf("class D (%v) should satisfy the 10 pkt/s requirement (%v)",
+			channel.ClassD.ThroughputBps(), lo.RequiredBps)
+	}
+	if channel.ClassC.ThroughputBps() >= hi.RequiredBps {
+		t.Fatalf("class C (%v) should violate the 20 pkt/s requirement (%v)",
+			channel.ClassC.ThroughputBps(), hi.RequiredBps)
+	}
+}
+
+func TestGuardNeedsPersistentDeficiency(t *testing.T) {
+	a, env := newUnit(1, 20) // requirement 82 kbps
+	installRoute(a, 5, 3, env)
+	env.Classes[3] = channel.ClassC // 75 kbps: deficient for 20 pkt/s
+	data := func() *packet.Packet {
+		return &packet.Packet{Type: packet.TypeData, Src: 1, Dst: 5, Size: packet.SizeData}
+	}
+	// First observation arms the debounce; no query yet.
+	a.RouteData(data(), env.Now())
+	if n := len(env.SentOfType(packet.TypeLQ)); n != 0 {
+		t.Fatalf("guard fired on first observation (%d LQs)", n)
+	}
+	// Still within the debounce window: no query.
+	env.Pump(100 * time.Millisecond)
+	a.RouteData(data(), env.Now())
+	if n := len(env.SentOfType(packet.TypeLQ)); n != 0 {
+		t.Fatalf("guard fired inside debounce window (%d LQs)", n)
+	}
+	// Past half a cooldown with the deficiency persisting: query.
+	env.Pump(500 * time.Millisecond)
+	a.RouteData(data(), env.Now())
+	if n := len(env.SentOfType(packet.TypeLQ)); n != 1 {
+		t.Fatalf("guard LQs = %d, want 1", n)
+	}
+	lq := env.SentOfType(packet.TypeLQ)[0]
+	if lq.TTL != DefaultConfig(20).RepairTTL {
+		t.Fatalf("LQ TTL = %d, want scoped %d", lq.TTL, DefaultConfig(20).RepairTTL)
+	}
+	// Data kept flowing on the degraded link the whole time.
+	if len(env.Enqueues) != 3 {
+		t.Fatalf("enqueues = %d, want all 3 (guard must not stall traffic)", len(env.Enqueues))
+	}
+}
+
+func TestGuardRecoveryClearsDebounce(t *testing.T) {
+	a, env := newUnit(1, 20)
+	installRoute(a, 5, 3, env)
+	env.Classes[3] = channel.ClassC
+	a.RouteData(&packet.Packet{Type: packet.TypeData, Src: 1, Dst: 5, Size: packet.SizeData}, env.Now())
+	// Link recovers before the second observation.
+	env.Classes[3] = channel.ClassA
+	env.Pump(600 * time.Millisecond)
+	a.RouteData(&packet.Packet{Type: packet.TypeData, Src: 1, Dst: 5, Size: packet.SizeData}, env.Now())
+	// Degrades again: the debounce must restart, not fire immediately.
+	env.Classes[3] = channel.ClassC
+	a.RouteData(&packet.Packet{Type: packet.TypeData, Src: 1, Dst: 5, Size: packet.SizeData}, env.Now())
+	if n := len(env.SentOfType(packet.TypeLQ)); n != 0 {
+		t.Fatalf("guard fired without persistent deficiency (%d LQs)", n)
+	}
+}
+
+func TestGuardFailureKeepsRoute(t *testing.T) {
+	a, env := newUnit(1, 20)
+	installRoute(a, 5, 3, env)
+	env.Classes[3] = channel.ClassC
+	deficient := func() *packet.Packet {
+		return &packet.Packet{Type: packet.TypeData, Src: 1, Dst: 5, Size: packet.SizeData}
+	}
+	a.RouteData(deficient(), env.Now())
+	env.Pump(600 * time.Millisecond)
+	a.RouteData(deficient(), env.Now()) // guard LQ launches
+	// Let the repair timeout expire with no LREP.
+	env.Pump(2 * time.Second)
+	if e := a.core.Table.Lookup(5, env.Now()); e == nil {
+		t.Fatal("failed guard query tore down a working (degraded) route")
+	}
+	if n := len(env.SentOfType(packet.TypeREER)); n != 0 {
+		t.Fatalf("failed guard query sent %d REERs; guards are non-destructive", n)
+	}
+}
+
+func TestBreakRepairHoldsPacketsAndQueries(t *testing.T) {
+	a, env := newUnit(3, 10)
+	installRoute(a, 5, 4, env)
+	data := &packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, From: 2, Size: packet.SizeData}
+	a.LinkFailed(4, data, env.Now())
+	if len(env.Drops) != 0 {
+		t.Fatalf("pivot dropped the packet instead of holding it: %+v", env.Drops)
+	}
+	if n := len(env.SentOfType(packet.TypeLQ)); n != 1 {
+		t.Fatalf("break repair LQs = %d, want 1", n)
+	}
+}
+
+func TestBreakRepairFailureSendsREER(t *testing.T) {
+	a, env := newUnit(3, 10)
+	installRoute(a, 5, 4, env)
+	// Upstream pointer learned from transiting data.
+	a.DataArrived(&packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, From: 2}, env.Now())
+	data := &packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, From: 2, Size: packet.SizeData}
+	a.LinkFailed(4, data, env.Now())
+	env.Pump(2 * time.Second) // repair times out
+	reers := env.SentOfType(packet.TypeREER)
+	if len(reers) != 1 || reers[0].To != 2 {
+		t.Fatalf("REER = %+v, want unicast upstream to 2 after failed repair", reers)
+	}
+}
+
+func TestLREPSplicesRoute(t *testing.T) {
+	a, env := newUnit(3, 10)
+	installRoute(a, 5, 4, env)
+	data := &packet.Packet{Type: packet.TypeData, Src: 0, Dst: 5, From: 2, Size: packet.SizeData}
+	a.LinkFailed(4, data, env.Now()) // holds the packet, LQ out
+	env.Reset()
+	a.HandleControl(&packet.Packet{
+		Type: packet.TypeLREP, Src: 3, Dst: 5, From: 7, To: 3,
+		Size: packet.SizeLREP, BroadcastID: 1,
+	}, env.Now())
+	if len(env.Enqueues) != 1 || env.Enqueues[0].Next != 7 {
+		t.Fatalf("held packet not flushed onto spliced route: %+v", env.Enqueues)
+	}
+}
+
+func TestDiscoveryUsesCSIMetric(t *testing.T) {
+	a, env := newUnit(5, 10) // destination
+	env.Classes[2] = channel.ClassD
+	env.Classes[3] = channel.ClassA
+	mk := func(from int) *packet.Packet {
+		return &packet.Packet{
+			Type: packet.TypeRREQ, Src: 0, Dst: 5, From: from,
+			To: packet.Broadcast, Size: packet.SizeRREQ, BroadcastID: 1,
+		}
+	}
+	a.HandleControl(mk(2), env.Now()) // first copy: class D link (distance 5)
+	a.HandleControl(mk(3), env.Now()) // later copy: class A link (distance 1)
+	env.Pump(100 * time.Millisecond)  // collect window expires
+	reps := env.SentOfType(packet.TypeRREP)
+	if len(reps) != 1 {
+		t.Fatalf("RREP count = %d, want 1", len(reps))
+	}
+	if reps[0].To != 3 {
+		t.Fatalf("destination chose %d, want the class-A candidate 3 (min CSI distance)", reps[0].To)
+	}
+}

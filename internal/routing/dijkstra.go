@@ -1,0 +1,134 @@
+package routing
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Graph is a weighted adjacency structure over terminals 0..N-1, used by
+// the link-state protocol's per-node topology views. Edge weights are the
+// CSI hop distances of the paper's cost model.
+type Graph struct {
+	n   int
+	adj []map[int]float64
+}
+
+// NewGraph returns an empty graph over n terminals.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, adj: make([]map[int]float64, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]float64)
+	}
+	return g
+}
+
+// N reports the number of terminals.
+func (g *Graph) N() int { return g.n }
+
+// SetEdge installs the undirected edge (u, v) with weight w, replacing any
+// previous weight. Non-positive or infinite weights remove the edge.
+func (g *Graph) SetEdge(u, v int, w float64) {
+	if u == v {
+		return
+	}
+	if w <= 0 || w >= InfiniteHops {
+		delete(g.adj[u], v)
+		delete(g.adj[v], u)
+		return
+	}
+	g.adj[u][v] = w
+	g.adj[v][u] = w
+}
+
+// RemoveEdge deletes the undirected edge (u, v).
+func (g *Graph) RemoveEdge(u, v int) { g.SetEdge(u, v, 0) }
+
+// Edge reports the weight of (u, v) and whether it exists.
+func (g *Graph) Edge(u, v int) (float64, bool) {
+	w, ok := g.adj[u][v]
+	return w, ok
+}
+
+// ClearNode removes every edge incident to u (a terminal whose LSA now
+// advertises a different neighbour set).
+func (g *Graph) ClearNode(u int) {
+	for v := range g.adj[u] {
+		delete(g.adj[v], u)
+	}
+	g.adj[u] = make(map[int]float64)
+}
+
+// InfiniteHops mirrors channel.Class.HopDistance's sentinel without
+// importing the channel package here.
+const InfiniteHops = 1e9
+
+// ShortestPaths runs Dijkstra from src and returns, for every terminal,
+// the first hop on a shortest path from src (or -1 if unreachable) and the
+// total distance. The next-hop array is what link-state forwarding uses.
+func (g *Graph) ShortestPaths(src int) (next []int, dist []float64) {
+	next = make([]int, g.n)
+	dist = make([]float64, g.n)
+	for i := range next {
+		next[i] = -1
+		dist[i] = InfiniteHops
+	}
+	dist[src] = 0
+
+	pq := &distHeap{}
+	heap.Push(pq, distItem{node: src, dist: 0})
+	done := make([]bool, g.n)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		// Iterate neighbours in sorted order: map order is randomized per
+		// process, and equal-cost tie-breaks must be deterministic for
+		// reproducible trials.
+		nbrs := make([]int, 0, len(g.adj[u]))
+		for v := range g.adj[u] {
+			nbrs = append(nbrs, v)
+		}
+		sort.Ints(nbrs)
+		for _, v := range nbrs {
+			w := g.adj[u][v]
+			nd := dist[u] + w
+			if nd < dist[v] {
+				dist[v] = nd
+				if u == src {
+					next[v] = v
+				} else {
+					next[v] = next[u]
+				}
+				heap.Push(pq, distItem{node: v, dist: nd})
+			}
+		}
+	}
+	return next, dist
+}
+
+type distItem struct {
+	node int
+	dist float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int { return len(h) }
+func (h distHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node < h[j].node
+}
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,296 @@
+// Package linkstate implements the table-driven baseline of the paper's
+// comparison: a link-state protocol with Dijkstra forwarding over
+// CSI-weighted edges. At t = 0 every terminal is installed with an
+// accurate view of the whole topology (paper §III.A). From then on each
+// terminal monitors its incident links through periodic beacons — when a
+// link's channel class changes or a neighbour falls silent, it floods a
+// link-state advertisement (LSA) through the common channel. Every
+// terminal forwards data packets hop by hop using Dijkstra over its own,
+// possibly stale, view.
+//
+// The paper's finding — and this implementation deliberately reproduces
+// the conditions for it — is that the wireless common channel cannot carry
+// the flood load: LSAs collide, views diverge, and routing loops form that
+// inflate delay and drown packets until their buffer lifetime kills them.
+// Nothing here "patches" the loops; they are the measured phenomenon.
+package linkstate
+
+import (
+	"sort"
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/network"
+	"rica/internal/packet"
+	"rica/internal/routing"
+)
+
+// Config tunes the protocol.
+type Config struct {
+	// BeaconInterval is the neighbour-probing period.
+	BeaconInterval time.Duration
+	// NeighborTimeout declares a silent neighbour gone.
+	NeighborTimeout time.Duration
+	// MinFloodInterval optionally batches link changes into at most one
+	// LSA per interval. The paper's protocol floods *every* change
+	// immediately (interval 0) — which is precisely what saturates the
+	// common channel and produces the routing loops §III reports. The
+	// knob exists for the damping ablation benchmark.
+	MinFloodInterval time.Duration
+}
+
+// DefaultConfig returns the paper-faithful settings: undamped flooding.
+func DefaultConfig() Config {
+	return Config{
+		BeaconInterval:  time.Second,
+		NeighborTimeout: 3500 * time.Millisecond, // three missed beacons
+
+	}
+}
+
+// LinkEntry is one advertised incident link.
+type LinkEntry struct {
+	Neighbor int
+	Cost     float64 // CSI hop distance
+}
+
+// Agent is one terminal's link-state instance.
+type Agent struct {
+	routing.BaseAgent
+	env  network.Env
+	cfg  Config
+	hist *routing.History
+
+	topo     *routing.Graph // this terminal's view of the network
+	myLinks  map[int]float64
+	lastSeen map[int]time.Duration
+	knownSeq map[int]uint32
+	seq      uint32
+
+	lastFlood    time.Duration
+	floodPending bool
+
+	sptNext  []int
+	sptDirty bool
+}
+
+var _ network.Agent = (*Agent)(nil)
+
+// New builds the terminal's agent with boot's accurate topology installed.
+// boot is shared read-only across terminals; each agent copies it.
+func New(env network.Env, cfg Config, boot *routing.Graph) *Agent {
+	a := &Agent{
+		env:      env,
+		cfg:      cfg,
+		hist:     routing.NewHistory(),
+		topo:     routing.NewGraph(env.NumNodes()),
+		myLinks:  make(map[int]float64),
+		lastSeen: make(map[int]time.Duration),
+		knownSeq: make(map[int]uint32),
+		sptDirty: true,
+	}
+	n := env.NumNodes()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if w, ok := boot.Edge(i, j); ok {
+				a.topo.SetEdge(i, j, w)
+			}
+		}
+	}
+	self := env.ID()
+	for j := 0; j < n; j++ {
+		if w, ok := boot.Edge(self, j); ok {
+			a.myLinks[j] = w
+			a.lastSeen[j] = 0
+		}
+	}
+	return a
+}
+
+// Start implements network.Agent: begin beaconing with a random phase
+// spread over the whole interval, so the network's beacons interleave
+// instead of colliding in one burst.
+func (a *Agent) Start(time.Duration) {
+	phase := time.Duration(a.env.Rand().Int63n(int64(a.cfg.BeaconInterval)))
+	a.env.Schedule(phase, func(now time.Duration) {
+		a.beacon(now)
+	})
+}
+
+// beacon broadcasts a probe, sweeps silent neighbours, and re-arms.
+func (a *Agent) beacon(now time.Duration) {
+	a.env.SendControl(&packet.Packet{
+		Type: packet.TypeBeacon,
+		Src:  a.env.ID(),
+		To:   packet.Broadcast,
+		Size: packet.SizeBeacon,
+	})
+	a.sweepSilent(now)
+	a.env.Schedule(a.cfg.BeaconInterval+routing.Jitter(a.env.Rand()), func(at time.Duration) {
+		a.beacon(at)
+	})
+}
+
+// sweepSilent removes links whose neighbour has not beaconed lately.
+func (a *Agent) sweepSilent(now time.Duration) {
+	changed := false
+	var gone []int
+	for j := range a.myLinks {
+		if now-a.lastSeen[j] > a.cfg.NeighborTimeout {
+			gone = append(gone, j)
+		}
+	}
+	sort.Ints(gone)
+	for _, j := range gone {
+		delete(a.myLinks, j)
+		a.topo.RemoveEdge(a.env.ID(), j)
+		changed = true
+	}
+	if changed {
+		a.sptDirty = true
+		a.scheduleFlood(now)
+	}
+}
+
+// HandleControl implements network.Agent.
+func (a *Agent) HandleControl(pkt *packet.Packet, now time.Duration) {
+	switch pkt.Type {
+	case packet.TypeBeacon:
+		a.noteBeacon(pkt.From, now)
+	case packet.TypeLSA:
+		a.handleLSA(pkt, now)
+	}
+}
+
+// noteBeacon measures the beaconing neighbour's current class and floods
+// an update when the link cost changed class.
+func (a *Agent) noteBeacon(from int, now time.Duration) {
+	a.lastSeen[from] = now
+	class := a.env.LinkClass(from)
+	if !class.Usable() {
+		// Heard the beacon but the class says out of range: boundary race;
+		// treat as worst class rather than flapping.
+		class = channel.ClassD
+	}
+	cost := class.HopDistance()
+	if prev, ok := a.myLinks[from]; ok && prev == cost {
+		return
+	}
+	a.myLinks[from] = cost
+	a.topo.SetEdge(a.env.ID(), from, cost)
+	a.sptDirty = true
+	a.scheduleFlood(now)
+}
+
+// scheduleFlood rate-limits LSA origination to MinFloodInterval.
+func (a *Agent) scheduleFlood(now time.Duration) {
+	if a.floodPending {
+		return
+	}
+	wait := a.cfg.MinFloodInterval - (now - a.lastFlood)
+	if wait < 0 {
+		wait = 0
+	}
+	a.floodPending = true
+	a.env.Schedule(wait, func(at time.Duration) {
+		a.floodPending = false
+		a.lastFlood = at
+		a.originateLSA(at)
+	})
+}
+
+// originateLSA floods this terminal's current incident-link list.
+func (a *Agent) originateLSA(now time.Duration) {
+	a.seq++
+	entries := make([]LinkEntry, 0, len(a.myLinks))
+	var nbrs []int
+	for j := range a.myLinks {
+		nbrs = append(nbrs, j)
+	}
+	sort.Ints(nbrs)
+	for _, j := range nbrs {
+		entries = append(entries, LinkEntry{Neighbor: j, Cost: a.myLinks[j]})
+	}
+	pkt := &packet.Packet{
+		Type:        packet.TypeLSA,
+		Src:         a.env.ID(),
+		To:          packet.Broadcast,
+		Size:        packet.LSASize(len(entries)),
+		BroadcastID: a.seq,
+		Payload:     entries,
+		CreatedAt:   now,
+	}
+	a.hist.FirstCopy(pkt, now) // ignore our own echo
+	a.env.SendControl(pkt)
+}
+
+// handleLSA applies and relays a received advertisement.
+func (a *Agent) handleLSA(pkt *packet.Packet, now time.Duration) {
+	if pkt.Src == a.env.ID() {
+		return
+	}
+	if _, first := a.hist.FirstCopy(pkt, now); !first {
+		return
+	}
+	if prev, ok := a.knownSeq[pkt.Src]; !ok || newerSeq(pkt.BroadcastID, prev) {
+		a.knownSeq[pkt.Src] = pkt.BroadcastID
+		a.applyLSA(pkt)
+	}
+	// Relay the first copy of each generation; duplicates were filtered
+	// above, and out-of-date generations still relay (their origin's newer
+	// LSA carries its own flood), matching plain LSA flooding.
+	fwd := pkt.Clone()
+	fwd.To = packet.Broadcast
+	a.env.Schedule(routing.Jitter(a.env.Rand()), func(time.Duration) {
+		a.env.SendControl(fwd)
+	})
+}
+
+// newerSeq compares LSA generations with wraparound tolerance.
+func newerSeq(a, b uint32) bool { return int32(a-b) > 0 }
+
+// applyLSA replaces the origin's incident links in this terminal's view.
+func (a *Agent) applyLSA(pkt *packet.Packet) {
+	entries, ok := pkt.Payload.([]LinkEntry)
+	if !ok {
+		return
+	}
+	origin := pkt.Src
+	a.topo.ClearNode(origin)
+	for _, e := range entries {
+		a.topo.SetEdge(origin, e.Neighbor, e.Cost)
+	}
+	a.sptDirty = true
+}
+
+// nextHop answers from the cached shortest-path tree, recomputing only
+// when the view changed.
+func (a *Agent) nextHop(dst int) int {
+	if a.sptDirty {
+		a.sptNext, _ = a.topo.ShortestPaths(a.env.ID())
+		a.sptDirty = false
+	}
+	return a.sptNext[dst]
+}
+
+// RouteData implements network.Agent: pure Dijkstra forwarding. There is
+// no on-demand fallback; an unreachable destination is a drop.
+func (a *Agent) RouteData(pkt *packet.Packet, now time.Duration) {
+	next := a.nextHop(pkt.Dst)
+	if next < 0 {
+		a.env.DropData(pkt, network.DropNoRoute)
+		return
+	}
+	a.env.EnqueueData(pkt, next)
+}
+
+// LinkFailed implements network.Agent. A pure table-driven protocol has no
+// data-plane repair: the packet is lost, and the broken edge stays in the
+// local view until the beacon timeout notices the silent neighbour (the
+// paper's terminals learn topology only through flooded updates). This lag
+// is the mechanism behind link state's collapse under mobility: packets
+// keep marching into dead links for seconds, and the eventual flood races
+// stale views into routing loops.
+func (a *Agent) LinkFailed(next int, pkt *packet.Packet, now time.Duration) {
+	a.env.DropData(pkt, network.DropLinkBreak)
+}

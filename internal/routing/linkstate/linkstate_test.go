@@ -1,0 +1,95 @@
+package linkstate_test
+
+import (
+	"testing"
+	"time"
+
+	"rica/internal/metrics"
+	"rica/internal/network"
+	"rica/internal/routing/linkstate"
+	"rica/internal/world"
+)
+
+func lsFactory(env network.Env, w *world.World, _ int) network.Agent {
+	return linkstate.New(env, linkstate.DefaultConfig(), w.BootTopology())
+}
+
+func run(t *testing.T, speedKmh, rate float64, dur time.Duration, seed int64) metrics.Summary {
+	t.Helper()
+	cfg := world.DefaultConfig(speedKmh, rate)
+	cfg.Duration = dur
+	cfg.Seed = seed
+	return world.New(cfg, lsFactory).Run()
+}
+
+// TestStaticNetworkWorksWell reproduces the paper's observation that with
+// an installed accurate topology and no motion, link state performs fine
+// (its delay can even be the lowest).
+func TestStaticNetworkWorksWell(t *testing.T) {
+	s := run(t, 0, 10, 30*time.Second, 1)
+	if s.DeliveryRatio < 0.6 {
+		t.Fatalf("static delivery = %.3f (drops %v), want > 0.6", s.DeliveryRatio, s.Dropped)
+	}
+}
+
+// TestMobilityDegradesSharply is the collapse the paper reports: at high
+// speed the flooded updates cannot keep views consistent and delivery
+// falls well below the static case.
+func TestMobilityDegradesSharply(t *testing.T) {
+	static := run(t, 0, 10, 30*time.Second, 2)
+	fast := run(t, 72, 10, 30*time.Second, 2)
+	if fast.DeliveryRatio >= static.DeliveryRatio {
+		t.Fatalf("mobility did not degrade link state: %.3f static vs %.3f at 72 km/h",
+			static.DeliveryRatio, fast.DeliveryRatio)
+	}
+	if fast.DeliveryRatio > 0.85*static.DeliveryRatio {
+		t.Fatalf("degradation too mild: %.3f → %.3f", static.DeliveryRatio, fast.DeliveryRatio)
+	}
+}
+
+// TestRoutingLoopsForm: stale views forward packets in circles. A 50-node
+// network on a 1000 m field with 250 m radios has a diameter under ~8
+// hops; any packet traversing far more than that has looped (paper Figure
+// 5b's "highest number of hops" pathology).
+func TestRoutingLoopsForm(t *testing.T) {
+	static := run(t, 0, 10, 30*time.Second, 3)
+	fast := run(t, 72, 10, 30*time.Second, 3)
+	if fast.MaxHops < 15 {
+		t.Fatalf("max hops at 72 km/h = %d; no packet ever looped", fast.MaxHops)
+	}
+	if fast.MaxHops <= static.MaxHops/2 {
+		t.Fatalf("loops not worse under mobility: static max %d vs mobile max %d",
+			static.MaxHops, fast.MaxHops)
+	}
+}
+
+// TestFloodOverheadDominates: the paper's Figure 4 shows link state
+// overhead far above every on-demand protocol once terminals move.
+func TestFloodOverheadDominates(t *testing.T) {
+	s := run(t, 40, 10, 30*time.Second, 4)
+	if s.OverheadBps < 50_000 {
+		t.Fatalf("link-state overhead = %.0f bps, implausibly low for LSA flooding", s.OverheadBps)
+	}
+	if s.ControlDropped == 0 {
+		t.Fatal("no control packets lost to congestion; the common channel should be saturated")
+	}
+}
+
+func TestHighestLinkThroughput(t *testing.T) {
+	// Dijkstra over CSI costs picks high-class links (paper Figure 5a puts
+	// link state top). Verify the per-hop link quality is at least high in
+	// absolute terms even when mobile.
+	s := run(t, 40, 10, 30*time.Second, 5)
+	if s.AvgLinkThroughputBps < 120_000 {
+		t.Fatalf("link-state avg link throughput %.0f too low; Dijkstra not using CSI costs?",
+			s.AvgLinkThroughputBps)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := run(t, 30, 10, 15*time.Second, 7)
+	b := run(t, 30, 10, 15*time.Second, 7)
+	if a.Delivered != b.Delivered || a.AvgDelay != b.AvgDelay || a.OverheadBps != b.OverheadBps {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

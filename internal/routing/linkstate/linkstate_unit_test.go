@@ -1,0 +1,178 @@
+package linkstate
+
+import (
+	"testing"
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/network"
+	"rica/internal/packet"
+	"rica/internal/routing"
+	"rica/internal/routing/routingtest"
+)
+
+// bootLine builds a 5-terminal line topology 0-1-2-3-4, all class B.
+func bootLine() *routing.Graph {
+	g := routing.NewGraph(5)
+	for i := 0; i < 4; i++ {
+		g.SetEdge(i, i+1, channel.ClassB.HopDistance())
+	}
+	return g
+}
+
+func newUnit(id int) (*Agent, *routingtest.Env) {
+	env := routingtest.New(id, 5)
+	for j := 0; j < 5; j++ {
+		env.Classes[j] = channel.ClassB
+	}
+	return New(env, DefaultConfig(), bootLine()), env
+}
+
+func TestBootTopologyForwards(t *testing.T) {
+	a, env := newUnit(1)
+	data := &packet.Packet{Type: packet.TypeData, Src: 0, Dst: 4, From: 0, Size: packet.SizeData}
+	a.RouteData(data, env.Now())
+	if len(env.Enqueues) != 1 || env.Enqueues[0].Next != 2 {
+		t.Fatalf("enqueues = %+v, want next hop 2 on the line", env.Enqueues)
+	}
+}
+
+func TestUnreachableDrops(t *testing.T) {
+	env := routingtest.New(1, 5)
+	g := routing.NewGraph(5)
+	g.SetEdge(0, 1, 1) // 2,3,4 disconnected
+	a := New(env, DefaultConfig(), g)
+	a.RouteData(&packet.Packet{Type: packet.TypeData, Src: 0, Dst: 4, From: 0, Size: packet.SizeData}, env.Now())
+	if len(env.Drops) != 1 || env.Drops[0].Reason != network.DropNoRoute {
+		t.Fatalf("drops = %+v, want no-route", env.Drops)
+	}
+}
+
+func TestClassChangeFloodsLSA(t *testing.T) {
+	a, env := newUnit(1)
+	// Neighbour 2's beacon arrives with the boot class: no flood.
+	a.HandleControl(&packet.Packet{Type: packet.TypeBeacon, Src: 2, From: 2, Size: packet.SizeBeacon}, env.Now())
+	env.Pump(100 * time.Millisecond)
+	if n := len(env.SentOfType(packet.TypeLSA)); n != 0 {
+		t.Fatalf("unchanged class flooded %d LSAs", n)
+	}
+	// The link to 2 degrades to class D: flood.
+	env.Classes[2] = channel.ClassD
+	a.HandleControl(&packet.Packet{Type: packet.TypeBeacon, Src: 2, From: 2, Size: packet.SizeBeacon}, env.Now())
+	env.Pump(100 * time.Millisecond)
+	lsas := env.SentOfType(packet.TypeLSA)
+	if len(lsas) != 1 {
+		t.Fatalf("LSA count = %d, want 1", len(lsas))
+	}
+	entries := lsas[0].Payload.([]LinkEntry)
+	found := false
+	for _, e := range entries {
+		if e.Neighbor == 2 && e.Cost == channel.ClassD.HopDistance() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("LSA entries %+v missing the degraded link", entries)
+	}
+}
+
+func TestLSAAppliesAndRelaysOncePerGeneration(t *testing.T) {
+	a, env := newUnit(1)
+	lsa := &packet.Packet{
+		Type: packet.TypeLSA, Src: 3, From: 2, To: packet.Broadcast,
+		Size: packet.LSASize(1), BroadcastID: 1,
+		Payload: []LinkEntry{{Neighbor: 4, Cost: 5}},
+	}
+	a.HandleControl(lsa, env.Now())
+	a.HandleControl(lsa.Clone(), env.Now()) // duplicate copy
+	env.Pump(100 * time.Millisecond)
+	if n := len(env.SentOfType(packet.TypeLSA)); n != 1 {
+		t.Fatalf("relays = %d, want 1", n)
+	}
+	// The view must now cost 3-4 at 5 (class D), and 3-2 must be gone
+	// (the LSA replaces 3's whole neighbour list).
+	if w, ok := a.topo.Edge(3, 4); !ok || w != 5 {
+		t.Fatalf("edge 3-4 = %v,%v; LSA not applied", w, ok)
+	}
+	if _, ok := a.topo.Edge(3, 2); ok {
+		t.Fatal("stale edge 3-2 survived the replacing LSA")
+	}
+}
+
+func TestStaleLSAGenerationIgnoredForState(t *testing.T) {
+	a, env := newUnit(1)
+	newer := &packet.Packet{
+		Type: packet.TypeLSA, Src: 3, From: 2, To: packet.Broadcast,
+		Size: packet.LSASize(1), BroadcastID: 5,
+		Payload: []LinkEntry{{Neighbor: 4, Cost: 1}},
+	}
+	older := &packet.Packet{
+		Type: packet.TypeLSA, Src: 3, From: 4, To: packet.Broadcast,
+		Size: packet.LSASize(1), BroadcastID: 4,
+		Payload: []LinkEntry{{Neighbor: 4, Cost: 5}},
+	}
+	a.HandleControl(newer, env.Now())
+	a.HandleControl(older, env.Now())
+	if w, _ := a.topo.Edge(3, 4); w != 1 {
+		t.Fatalf("older generation overwrote newer state: cost %v", w)
+	}
+}
+
+func TestSilentNeighborSweptAndFlooded(t *testing.T) {
+	a, env := newUnit(1)
+	a.Start(env.Now())
+	// Keep neighbour 0 alive, let neighbour 2 go silent.
+	stop := env.Now() + 6*time.Second
+	for env.Now() < stop {
+		a.HandleControl(&packet.Packet{Type: packet.TypeBeacon, Src: 0, From: 0, Size: packet.SizeBeacon}, env.Now())
+		env.Pump(time.Second)
+	}
+	if _, ok := a.topo.Edge(1, 2); ok {
+		t.Fatal("silent neighbour's edge survived the sweep")
+	}
+	if _, ok := a.topo.Edge(0, 1); !ok {
+		t.Fatal("live neighbour's edge was swept")
+	}
+	if len(env.SentOfType(packet.TypeLSA)) == 0 {
+		t.Fatal("sweep did not flood the topology change")
+	}
+}
+
+func TestLinkFailedDropsWithoutRepair(t *testing.T) {
+	a, env := newUnit(1)
+	data := &packet.Packet{Type: packet.TypeData, Src: 0, Dst: 4, From: 0, Size: packet.SizeData}
+	a.LinkFailed(2, data, env.Now())
+	if len(env.Drops) != 1 || env.Drops[0].Reason != network.DropLinkBreak {
+		t.Fatalf("drops = %+v, want link-break (no data-plane repair)", env.Drops)
+	}
+	// The local view must be unchanged: detection is beacon-driven only.
+	if _, ok := a.topo.Edge(1, 2); !ok {
+		t.Fatal("data-plane failure removed the edge; the paper's protocol learns only from beacons")
+	}
+}
+
+func TestNewerSeqWraparound(t *testing.T) {
+	if !newerSeq(1, 0) || newerSeq(0, 1) {
+		t.Fatal("basic ordering broken")
+	}
+	// Wraparound: 0 is newer than MaxUint32.
+	if !newerSeq(0, ^uint32(0)) {
+		t.Fatal("wraparound ordering broken")
+	}
+}
+
+func TestOwnLSAEchoIgnored(t *testing.T) {
+	a, env := newUnit(1)
+	env.Classes[2] = channel.ClassD
+	a.HandleControl(&packet.Packet{Type: packet.TypeBeacon, Src: 2, From: 2, Size: packet.SizeBeacon}, env.Now())
+	env.Pump(100 * time.Millisecond)
+	own := env.SentOfType(packet.TypeLSA)[0]
+	env.Reset()
+	echo := own.Clone()
+	echo.From = 2
+	a.HandleControl(echo, env.Now())
+	env.Pump(100 * time.Millisecond)
+	if n := len(env.SentOfType(packet.TypeLSA)); n != 0 {
+		t.Fatalf("own echoed LSA relayed %d times", n)
+	}
+}

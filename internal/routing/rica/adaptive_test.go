@@ -1,0 +1,107 @@
+package rica
+
+import (
+	"testing"
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/packet"
+	"rica/internal/routing/routingtest"
+)
+
+func adaptiveUnit(id int) (*Agent, *routingtest.Env) {
+	env := routingtest.New(id, 10)
+	for j := 0; j < 10; j++ {
+		env.Classes[j] = channel.ClassB
+	}
+	cfg := DefaultConfig()
+	cfg.AdaptiveCheck = true
+	return New(env, cfg), env
+}
+
+// feedData delivers n data packets to the destination agent with the
+// given CSI distances, one per 100 ms.
+func feedData(a *Agent, env *routingtest.Env, src int, csis []float64) {
+	for _, csi := range csis {
+		a.DataArrived(&packet.Packet{
+			Type: packet.TypeData, Src: src, Dst: a.env.ID(), From: 4,
+			TraversedHops: 3, TraversedCSI: csi,
+		}, env.Now())
+		env.Pump(100 * time.Millisecond)
+	}
+}
+
+func TestAdaptiveQuietFlowSlowsDown(t *testing.T) {
+	a, env := adaptiveUnit(9)
+	feedData(a, env, 2, []float64{6, 6, 6, 6, 6, 6, 6, 6})
+	ch := a.checkers[2]
+	if ch == nil {
+		t.Fatal("no checker started")
+	}
+	if got := a.checkInterval(ch); got != a.cfg.MaxCheckInterval {
+		t.Fatalf("quiet flow interval = %v, want the maximum %v", got, a.cfg.MaxCheckInterval)
+	}
+}
+
+func TestAdaptiveVolatileFlowSpeedsUp(t *testing.T) {
+	a, env := adaptiveUnit(9)
+	feedData(a, env, 2, []float64{4, 9, 3, 10, 4, 11, 3, 9})
+	ch := a.checkers[2]
+	if got := a.checkInterval(ch); got != a.cfg.MinCheckInterval {
+		t.Fatalf("volatile flow interval = %v, want the minimum %v", got, a.cfg.MinCheckInterval)
+	}
+}
+
+func TestAdaptiveIntervalMonotoneInVolatility(t *testing.T) {
+	a, _ := adaptiveUnit(9)
+	prev := time.Duration(1 << 62)
+	for _, vol := range []float64{0, 0.25, 0.5, 0.75, 1.0, 2.0} {
+		ch := &checker{volatility: vol}
+		got := a.checkInterval(ch)
+		if got > prev {
+			t.Fatalf("interval grew with volatility: %v at vol=%v", got, vol)
+		}
+		if got < a.cfg.MinCheckInterval || got > a.cfg.MaxCheckInterval {
+			t.Fatalf("interval %v outside [%v, %v]", got, a.cfg.MinCheckInterval, a.cfg.MaxCheckInterval)
+		}
+		prev = got
+	}
+}
+
+func TestFixedConfigIgnoresVolatility(t *testing.T) {
+	env := routingtest.New(9, 10)
+	a := New(env, DefaultConfig()) // AdaptiveCheck off
+	ch := &checker{volatility: 5}
+	if got := a.checkInterval(ch); got != a.cfg.CheckInterval {
+		t.Fatalf("fixed interval = %v, want %v", got, a.cfg.CheckInterval)
+	}
+}
+
+func TestAdaptiveBroadcastRateFollowsVolatility(t *testing.T) {
+	// Integration-flavoured: a volatile destination must emit more CSIC
+	// broadcasts per unit time than a quiet one.
+	run := func(csis []float64) int {
+		a, env := adaptiveUnit(9)
+		// Prime activity so the checker keeps running.
+		a.HandleControl(&packet.Packet{
+			Type: packet.TypeRREQ, Src: 2, Dst: 9, From: 4,
+			To: packet.Broadcast, Size: packet.SizeRREQ, BroadcastID: 1, GeoHops: 3,
+		}, env.Now())
+		for i := 0; i < 40; i++ {
+			a.DataArrived(&packet.Packet{
+				Type: packet.TypeData, Src: 2, Dst: 9, From: 4,
+				TraversedHops: 3, TraversedCSI: csis[i%len(csis)],
+			}, env.Now())
+			env.Pump(250 * time.Millisecond)
+		}
+		return len(env.SentOfType(packet.TypeCSIC))
+	}
+	quiet := run([]float64{6})
+	volatile := run([]float64{3, 11})
+	if volatile <= quiet {
+		t.Fatalf("volatile flow sent %d CSICs vs quiet %d; adaptation inert", volatile, quiet)
+	}
+	if volatile < 2*quiet {
+		t.Fatalf("adaptation too weak: %d vs %d", volatile, quiet)
+	}
+}

@@ -1,0 +1,128 @@
+package rica
+
+// Tests for the paper's §II.D source-side arrival races: after a route
+// error, the source may receive an RREP (from its own re-flood) and CSI
+// checking packets in any order. The paper resolves all three scenarios
+// the same way — whichever information arrives later re-decides the
+// route — and these tests pin that behaviour.
+
+import (
+	"testing"
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/packet"
+	"rica/internal/routing/routingtest"
+)
+
+// raceSetup builds a source agent (id 2) with neighbours of fixed classes.
+func raceSetup() (*Agent, *routingtest.Env) {
+	env := routingtest.New(2, 10)
+	env.Classes[6] = channel.ClassA
+	env.Classes[7] = channel.ClassA
+	return New(env, DefaultConfig()), env
+}
+
+func rrepFrom(from int) *packet.Packet {
+	return &packet.Packet{
+		Type: packet.TypeRREP, Src: 2, Dst: 9, From: from, To: 2,
+		Size: packet.SizeRREP, BroadcastID: 1,
+	}
+}
+
+func next(t *testing.T, a *Agent, env *routingtest.Env) int {
+	t.Helper()
+	e := a.core.Table.Lookup(9, env.Now())
+	if e == nil {
+		t.Fatal("no route installed")
+	}
+	return e.Next
+}
+
+// Scenario: the RREP arrives first, checking packets later — "the source
+// chooses route based on RREP, afterwards ... the route is decided based
+// on CSI checking packets."
+func TestRaceRREPThenCSIC(t *testing.T) {
+	a, env := raceSetup()
+	a.HandleControl(rrepFrom(6), env.Now())
+	if got := next(t, a, env); got != 6 {
+		t.Fatalf("after RREP: next = %d, want 6", got)
+	}
+	// Checking packets arrive later offering a better route via 7.
+	a.HandleControl(csic(2, 9, 7, 3, 1.0, 4), env.Now())
+	env.Pump(routingCollectWindow() + 20*time.Millisecond)
+	if got := next(t, a, env); got != 7 {
+		t.Fatalf("after later CSIC: next = %d, want re-decided 7", got)
+	}
+}
+
+// Scenario: checking packets arrive first, the RREP afterwards — "the
+// source decides the route based on these CSI checking packets;
+// afterwards, if RREP also arrives, the source chooses the route based on
+// RREP."
+func TestRaceCSICThenRREP(t *testing.T) {
+	a, env := raceSetup()
+	a.HandleControl(csic(2, 9, 7, 3, 1.0, 4), env.Now())
+	env.Pump(routingCollectWindow() + 20*time.Millisecond)
+	if got := next(t, a, env); got != 7 {
+		t.Fatalf("after CSIC: next = %d, want 7", got)
+	}
+	a.HandleControl(rrepFrom(6), env.Now())
+	if got := next(t, a, env); got != 6 {
+		t.Fatalf("after later RREP: next = %d, want re-decided 6", got)
+	}
+}
+
+// Scenario: both arrive within the same collection window; the source's
+// 40 ms wait lets the checking packets win the tie (they carry fresher
+// whole-route CSI).
+func TestRaceSimultaneousWindow(t *testing.T) {
+	a, env := raceSetup()
+	a.HandleControl(csic(2, 9, 7, 3, 1.0, 4), env.Now())
+	env.Pump(10 * time.Millisecond) // inside the window
+	a.HandleControl(rrepFrom(6), env.Now())
+	env.Pump(routingCollectWindow() + 20*time.Millisecond)
+	// The CSIC decision fires after the RREP install and re-decides.
+	if got := next(t, a, env); got != 7 {
+		t.Fatalf("window decision: next = %d, want the CSI choice 7", got)
+	}
+}
+
+// A REER with no recent checking packets must trigger a fresh flood when
+// traffic is pending (paper scenario 2 precondition).
+func TestREERWithoutCSICTriggersFlood(t *testing.T) {
+	a, env := raceSetup()
+	// Install a route via 6 and make it current, with pending traffic
+	// queued behind a failure.
+	a.HandleControl(rrepFrom(6), env.Now())
+	data := &packet.Packet{Type: packet.TypeData, Src: 2, Dst: 9, Size: packet.SizeData}
+	a.core.BufferForRepair(data, env.Now())
+	env.Reset()
+	a.HandleControl(&packet.Packet{
+		Type: packet.TypeREER, Src: 2, Dst: 9, From: 6, Via: 6, Size: packet.SizeREER,
+	}, env.Now())
+	if n := len(env.SentOfType(packet.TypeRREQ)); n != 1 {
+		t.Fatalf("RREQ floods = %d, want 1 (no checking packets flowing)", n)
+	}
+	if a.core.Table.Lookup(9, env.Now()) != nil {
+		t.Fatal("REER from the current downstream did not invalidate the route")
+	}
+}
+
+// A REER while checking packets flow is ignored by the source — scenario
+// 1: "the source terminal ignores the REER and chooses the shortest route
+// based on CSI checking packet."
+func TestREERWithCSICSuppressed(t *testing.T) {
+	a, env := raceSetup()
+	a.HandleControl(csic(2, 9, 7, 3, 1.0, 4), env.Now())
+	env.Pump(routingCollectWindow() + 20*time.Millisecond)
+	// Pending traffic exists; the REER names the current downstream 7.
+	a.core.BufferForRepair(&packet.Packet{Type: packet.TypeData, Src: 2, Dst: 9, Size: packet.SizeData}, env.Now())
+	env.Reset()
+	a.HandleControl(&packet.Packet{
+		Type: packet.TypeREER, Src: 2, Dst: 9, From: 7, Via: 7, Size: packet.SizeREER,
+	}, env.Now())
+	if n := len(env.SentOfType(packet.TypeRREQ)); n != 0 {
+		t.Fatalf("source flooded despite live CSI checking (%d RREQs)", n)
+	}
+}

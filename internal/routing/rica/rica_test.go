@@ -1,0 +1,134 @@
+package rica_test
+
+import (
+	"testing"
+	"time"
+
+	"rica/internal/metrics"
+	"rica/internal/network"
+	"rica/internal/routing/aodv"
+	"rica/internal/routing/rica"
+	"rica/internal/traffic"
+	"rica/internal/world"
+)
+
+func ricaFactory(env network.Env, _ *world.World, _ int) network.Agent {
+	return rica.New(env, rica.DefaultConfig())
+}
+
+func aodvFactory(env network.Env, _ *world.World, _ int) network.Agent { return aodv.New(env) }
+
+func run(t *testing.T, f world.AgentFactory, speedKmh, rate float64, dur time.Duration, seed int64) metrics.Summary {
+	t.Helper()
+	cfg := world.DefaultConfig(speedKmh, rate)
+	cfg.Duration = dur
+	cfg.Seed = seed
+	return world.New(cfg, f).Run()
+}
+
+func TestStaticDelivery(t *testing.T) {
+	s := run(t, ricaFactory, 0, 10, 30*time.Second, 1)
+	if s.DeliveryRatio < 0.75 {
+		t.Fatalf("static delivery = %.3f (drops %v), want > 0.75", s.DeliveryRatio, s.Dropped)
+	}
+}
+
+func TestMobileDelivery(t *testing.T) {
+	s := run(t, ricaFactory, 40, 10, 30*time.Second, 2)
+	if s.DeliveryRatio < 0.5 {
+		t.Fatalf("mobile delivery = %.3f (drops %v), want > 0.5", s.DeliveryRatio, s.Dropped)
+	}
+}
+
+// TestChannelAdaptivityBeatsAODVLinkQuality is the paper's core claim in
+// miniature (Figure 5a): RICA's routes traverse distinctly better links
+// than AODV's on the same random universe.
+func TestChannelAdaptivityBeatsAODVLinkQuality(t *testing.T) {
+	const seed = 5
+	ricaS := run(t, ricaFactory, 20, 10, 40*time.Second, seed)
+	aodvS := run(t, aodvFactory, 20, 10, 40*time.Second, seed)
+	if ricaS.AvgLinkThroughputBps <= aodvS.AvgLinkThroughputBps {
+		t.Fatalf("RICA link throughput %.0f not above AODV %.0f",
+			ricaS.AvgLinkThroughputBps, aodvS.AvgLinkThroughputBps)
+	}
+	// The margin the paper shows is large (≈180 vs ≈110 kbps); require a
+	// solid gap, not a statistical accident.
+	if ricaS.AvgLinkThroughputBps < aodvS.AvgLinkThroughputBps*1.15 {
+		t.Fatalf("RICA link quality advantage too small: %.0f vs %.0f",
+			ricaS.AvgLinkThroughputBps, aodvS.AvgLinkThroughputBps)
+	}
+}
+
+func TestGeneratesMoreOverheadThanAODV(t *testing.T) {
+	const seed = 6
+	ricaS := run(t, ricaFactory, 20, 10, 40*time.Second, seed)
+	aodvS := run(t, aodvFactory, 20, 10, 40*time.Second, seed)
+	if ricaS.OverheadBps <= aodvS.OverheadBps {
+		t.Fatalf("RICA overhead %.0f not above AODV %.0f — periodic CSI checking missing?",
+			ricaS.OverheadBps, aodvS.OverheadBps)
+	}
+}
+
+func TestLowerDelayThanAODVWhenMobile(t *testing.T) {
+	var ricaDelay, aodvDelay time.Duration
+	// Average over a few universes: a single seed can be unlucky.
+	for seed := int64(10); seed < 13; seed++ {
+		ricaDelay += run(t, ricaFactory, 40, 10, 40*time.Second, seed).AvgDelay
+		aodvDelay += run(t, aodvFactory, 40, 10, 40*time.Second, seed).AvgDelay
+	}
+	if ricaDelay >= aodvDelay {
+		t.Fatalf("RICA delay %v not below AODV %v at 40 km/h", ricaDelay/3, aodvDelay/3)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := run(t, ricaFactory, 30, 10, 15*time.Second, 7)
+	b := run(t, ricaFactory, 30, 10, 15*time.Second, 7)
+	if a.Delivered != b.Delivered || a.AvgDelay != b.AvgDelay || a.OverheadBps != b.OverheadBps {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFullFloodAblationCostsMoreOverhead(t *testing.T) {
+	cfg := rica.DefaultConfig()
+	cfg.FullFloodCSIC = true
+	full := func(env network.Env, _ *world.World, _ int) network.Agent { return rica.New(env, cfg) }
+	scoped := run(t, ricaFactory, 20, 10, 30*time.Second, 8)
+	flood := run(t, full, 20, 10, 30*time.Second, 8)
+	if flood.OverheadBps <= scoped.OverheadBps {
+		t.Fatalf("full-flood CSIC overhead %.0f not above TTL-scoped %.0f; TTL scoping inert?",
+			flood.OverheadBps, scoped.OverheadBps)
+	}
+}
+
+func TestCheckerStopsWhenFlowGoesQuiet(t *testing.T) {
+	// Run a world whose traffic stops at t=10s but simulate to 40s: CSIC
+	// broadcasts must stop, so control packet count should plateau.
+	cfg := world.DefaultConfig(10, 10)
+	cfg.Seed = 9
+	cfg.Duration = 40 * time.Second
+	w := world.New(cfg, ricaFactory)
+	for _, nd := range w.Nodes {
+		nd.Start()
+	}
+	// Only 10 seconds of traffic.
+	traffic.NewGenerator(w.Kernel, w.Nodes).Start(w.Flows, w.Streams, 10*time.Second)
+	w.Kernel.Run(cfg.Duration)
+	s := w.Collector.Summary()
+	if s.ControlPackets == 0 {
+		t.Fatal("no control packets at all")
+	}
+	// If checkers never stopped, ~10 flows * 1/s * 25s of quiet time would
+	// add thousands of CSIC transmissions (each rebroadcast by several
+	// terminals). We can't observe the timeline retroactively here, so
+	// assert via a second world with traffic running the whole time: it
+	// must emit clearly more control packets.
+	cfg2 := cfg
+	cfg2.Duration = 40 * time.Second
+	w2 := world.New(cfg2, ricaFactory)
+	s2 := w2.Run()
+	if float64(s.ControlPackets) > 0.8*float64(s2.ControlPackets) {
+		t.Fatalf("quiet-flow run emitted %d control packets vs %d with continuous traffic; checkers likely never stop",
+			s.ControlPackets, s2.ControlPackets)
+	}
+}

@@ -1,0 +1,245 @@
+// Package routing holds the machinery shared by the five protocol
+// implementations: route tables with idle expiry, flood duplicate
+// suppression, pending-packet buffers for packets awaiting discovery,
+// rebroadcast jitter, and a Dijkstra solver for the link-state baseline.
+package routing
+
+import (
+	"math/rand"
+	"time"
+
+	"rica/internal/network"
+	"rica/internal/packet"
+)
+
+// Tunables shared across protocols. Values follow the paper where it
+// specifies them (40 ms source collection window, 1 s idle route expiry)
+// and common MANET practice elsewhere.
+const (
+	// CollectWindow is how long a terminal gathers competing route
+	// candidates (RREQs at the destination, CSI checking packets and RREPs
+	// at the source) before deciding (paper §II.D: 40 ms).
+	CollectWindow = 40 * time.Millisecond
+	// DiscoveryTimeout bounds one RREQ flood round trip.
+	DiscoveryTimeout = 1 * time.Second
+	// MaxDiscoveryRetries is how many times a source re-floods before
+	// dropping the pending packets.
+	MaxDiscoveryRetries = 2
+	// RebroadcastJitter desynchronizes flood rebroadcasts so neighbours do
+	// not systematically collide on the common channel.
+	RebroadcastJitter = 8 * time.Millisecond
+	// PendingLifetime mirrors the data-buffer residency limit: a packet
+	// waiting for a route longer than this is dropped.
+	PendingLifetime = 3 * time.Second
+	// PendingCap bounds the per-destination discovery buffer.
+	PendingCap = 64
+)
+
+// BaseAgent provides no-op implementations of the optional Agent hooks so
+// protocols embed it and override what they need.
+type BaseAgent struct{}
+
+// Start implements network.Agent.
+func (BaseAgent) Start(time.Duration) {}
+
+// HandleControl implements network.Agent.
+func (BaseAgent) HandleControl(*packet.Packet, time.Duration) {}
+
+// DataArrived implements network.Agent.
+func (BaseAgent) DataArrived(*packet.Packet, time.Duration) {}
+
+// Jitter draws a rebroadcast delay in [1, RebroadcastJitter).
+func Jitter(rng *rand.Rand) time.Duration {
+	return time.Millisecond + time.Duration(rng.Int63n(int64(RebroadcastJitter-time.Millisecond)))
+}
+
+// Entry is one route-table row: the next hop toward Dst and the metrics
+// the protocol attached when it learned the route.
+type Entry struct {
+	Dst       int
+	Next      int
+	HopCount  float64 // protocol metric (CSI distance or plain hops)
+	GeoHops   int     // geographic length, where known
+	UpdatedAt time.Duration
+	Valid     bool
+}
+
+// Table maps destinations to route entries with idle expiry: an entry not
+// refreshed within the table's timeout is treated as absent, implementing
+// the paper's "original route automatically expires" rule.
+type Table struct {
+	entries     map[int]*Entry
+	IdleTimeout time.Duration // zero disables expiry
+}
+
+// NewTable returns an empty table with the given idle timeout.
+func NewTable(idle time.Duration) *Table {
+	return &Table{entries: make(map[int]*Entry), IdleTimeout: idle}
+}
+
+// Lookup returns the live entry for dst, or nil when none exists, it was
+// invalidated, or it idled out.
+func (t *Table) Lookup(dst int, now time.Duration) *Entry {
+	e := t.entries[dst]
+	if e == nil || !e.Valid {
+		return nil
+	}
+	if t.IdleTimeout > 0 && now-e.UpdatedAt > t.IdleTimeout {
+		e.Valid = false
+		return nil
+	}
+	return e
+}
+
+// Peek returns the entry regardless of validity or age (diagnostics and
+// REER downstream checks, which must consult the stored next hop even for
+// stale routes).
+func (t *Table) Peek(dst int) *Entry { return t.entries[dst] }
+
+// Install inserts or replaces the route toward dst.
+func (t *Table) Install(dst, next int, hopCount float64, geoHops int, now time.Duration) *Entry {
+	e := &Entry{Dst: dst, Next: next, HopCount: hopCount, GeoHops: geoHops, UpdatedAt: now, Valid: true}
+	t.entries[dst] = e
+	return e
+}
+
+// Touch refreshes the entry's idle clock when data flows through it.
+func (t *Table) Touch(dst int, now time.Duration) {
+	if e := t.entries[dst]; e != nil {
+		e.UpdatedAt = now
+	}
+}
+
+// Invalidate marks the route toward dst unusable.
+func (t *Table) Invalidate(dst int) {
+	if e := t.entries[dst]; e != nil {
+		e.Valid = false
+	}
+}
+
+// InvalidateNext marks every route through neighbour next unusable and
+// returns the affected destinations (REER generation fans out per flow).
+func (t *Table) InvalidateNext(next int) []int {
+	var dsts []int
+	for dst, e := range t.entries {
+		if e.Valid && e.Next == next {
+			e.Valid = false
+			dsts = append(dsts, dst)
+		}
+	}
+	return dsts
+}
+
+// History performs duplicate suppression for flood packets and remembers
+// the reverse pointer (the upstream terminal the first copy arrived from),
+// which the RREP later retraces.
+type History struct {
+	seen map[packet.FloodKey]*FloodRecord
+}
+
+// FloodRecord is what the history keeps per flood instance.
+type FloodRecord struct {
+	// FirstFrom is the neighbour that delivered the first copy.
+	FirstFrom int
+	// HopCount and GeoHops are the metrics carried by that first copy
+	// after this terminal's own link was added.
+	HopCount float64
+	GeoHops  int
+	At       time.Duration
+}
+
+// NewHistory returns an empty flood history.
+func NewHistory() *History {
+	return &History{seen: make(map[packet.FloodKey]*FloodRecord)}
+}
+
+// FirstCopy records pkt's flood instance if unseen and reports whether
+// this was the first copy. Duplicate copies return (record, false) with
+// the original record, which callers use for reverse-path forwarding.
+func (h *History) FirstCopy(pkt *packet.Packet, now time.Duration) (*FloodRecord, bool) {
+	key := pkt.Key()
+	if rec, ok := h.seen[key]; ok {
+		return rec, false
+	}
+	rec := &FloodRecord{FirstFrom: pkt.From, HopCount: pkt.HopCount, GeoHops: pkt.GeoHops, At: now}
+	h.seen[key] = rec
+	return rec, true
+}
+
+// metricImprovement is the minimum accumulated-metric gain that justifies
+// another rebroadcast of the same flood; it suppresses churn from
+// floating-point noise and near-ties.
+const metricImprovement = 1e-6
+
+// Improved records pkt's flood instance and reports whether this copy
+// either is the first or carries a strictly better (smaller) accumulated
+// metric than the best copy seen so far; the record is updated to the
+// improving copy. Channel-adaptive floods (RICA, BGCA) rebroadcast
+// improving copies so the accumulated CSI distances converge to the true
+// shortest routes; the metric strictly decreases per terminal, so the
+// flood always terminates.
+func (h *History) Improved(pkt *packet.Packet, now time.Duration) (*FloodRecord, bool) {
+	key := pkt.Key()
+	rec, ok := h.seen[key]
+	if !ok {
+		rec = &FloodRecord{FirstFrom: pkt.From, HopCount: pkt.HopCount, GeoHops: pkt.GeoHops, At: now}
+		h.seen[key] = rec
+		return rec, true
+	}
+	if pkt.HopCount < rec.HopCount-metricImprovement {
+		rec.FirstFrom = pkt.From
+		rec.HopCount = pkt.HopCount
+		rec.GeoHops = pkt.GeoHops
+		rec.At = now
+		return rec, true
+	}
+	return rec, false
+}
+
+// Lookup fetches the record for a previously seen flood, if any.
+func (h *History) Lookup(key packet.FloodKey) *FloodRecord { return h.seen[key] }
+
+// Pending buffers data packets waiting for a route to one destination.
+type Pending struct {
+	items []pendingItem
+}
+
+type pendingItem struct {
+	pkt *packet.Packet
+	at  time.Duration
+}
+
+// Add buffers pkt; when the buffer is full the packet is dropped as
+// congestion, matching the paper's finite-buffer discipline.
+func (p *Pending) Add(pkt *packet.Packet, now time.Duration, env network.Env) {
+	if len(p.items) >= PendingCap {
+		env.DropData(pkt, network.DropCongestion)
+		return
+	}
+	p.items = append(p.items, pendingItem{pkt: pkt, at: now})
+}
+
+// Len reports how many packets wait.
+func (p *Pending) Len() int { return len(p.items) }
+
+// Flush hands every still-fresh packet to deliver and drops expired ones;
+// the buffer is left empty.
+func (p *Pending) Flush(now time.Duration, env network.Env, deliver func(pkt *packet.Packet)) {
+	items := p.items
+	p.items = nil
+	for _, it := range items {
+		if now-it.at > PendingLifetime {
+			env.DropData(it.pkt, network.DropExpired)
+			continue
+		}
+		deliver(it.pkt)
+	}
+}
+
+// DropAll discards every buffered packet with the given reason.
+func (p *Pending) DropAll(env network.Env, reason network.DropReason) {
+	for _, it := range p.items {
+		env.DropData(it.pkt, reason)
+	}
+	p.items = nil
+}

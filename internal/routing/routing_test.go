@@ -1,0 +1,300 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rica/internal/network"
+	"rica/internal/packet"
+)
+
+func TestTableLookupInstallInvalidate(t *testing.T) {
+	tb := NewTable(time.Second)
+	if tb.Lookup(5, 0) != nil {
+		t.Fatal("empty table returned an entry")
+	}
+	tb.Install(5, 2, 3.33, 2, 0)
+	e := tb.Lookup(5, 100*time.Millisecond)
+	if e == nil || e.Next != 2 || e.HopCount != 3.33 {
+		t.Fatalf("Lookup = %+v", e)
+	}
+	tb.Invalidate(5)
+	if tb.Lookup(5, 200*time.Millisecond) != nil {
+		t.Fatal("invalidated entry still returned")
+	}
+	if tb.Peek(5) == nil {
+		t.Fatal("Peek must still see invalidated entries")
+	}
+}
+
+func TestTableIdleExpiry(t *testing.T) {
+	tb := NewTable(time.Second)
+	tb.Install(3, 1, 1, 1, 0)
+	if tb.Lookup(3, 900*time.Millisecond) == nil {
+		t.Fatal("entry expired too early")
+	}
+	if tb.Lookup(3, 1100*time.Millisecond) != nil {
+		t.Fatal("idle entry not expired after 1 s (paper's route expiry)")
+	}
+	// Touch resets the idle clock.
+	tb.Install(4, 1, 1, 1, 0)
+	tb.Touch(4, 900*time.Millisecond)
+	if tb.Lookup(4, 1800*time.Millisecond) == nil {
+		t.Fatal("touched entry expired despite recent use")
+	}
+}
+
+func TestTableZeroTimeoutNeverExpires(t *testing.T) {
+	tb := NewTable(0)
+	tb.Install(1, 2, 1, 1, 0)
+	if tb.Lookup(1, time.Hour) == nil {
+		t.Fatal("zero-timeout table expired an entry")
+	}
+}
+
+func TestInvalidateNext(t *testing.T) {
+	tb := NewTable(0)
+	tb.Install(1, 9, 1, 1, 0)
+	tb.Install(2, 9, 2, 2, 0)
+	tb.Install(3, 7, 1, 1, 0)
+	affected := tb.InvalidateNext(9)
+	if len(affected) != 2 {
+		t.Fatalf("affected = %v, want destinations 1 and 2", affected)
+	}
+	if tb.Lookup(1, 0) != nil || tb.Lookup(2, 0) != nil {
+		t.Fatal("routes through dead neighbour still valid")
+	}
+	if tb.Lookup(3, 0) == nil {
+		t.Fatal("unrelated route was invalidated")
+	}
+}
+
+func TestHistoryFirstCopy(t *testing.T) {
+	h := NewHistory()
+	pkt := &packet.Packet{Type: packet.TypeRREQ, Src: 1, Dst: 2, BroadcastID: 1, From: 4, HopCount: 1.67, GeoHops: 1}
+	rec, first := h.FirstCopy(pkt, time.Second)
+	if !first {
+		t.Fatal("first copy not recognized")
+	}
+	if rec.FirstFrom != 4 || rec.HopCount != 1.67 {
+		t.Fatalf("record = %+v", rec)
+	}
+	dup := pkt.Clone()
+	dup.From = 9
+	dup.HopCount = 1.0
+	rec2, first2 := h.FirstCopy(dup, 2*time.Second)
+	if first2 {
+		t.Fatal("duplicate treated as first copy")
+	}
+	if rec2.FirstFrom != 4 {
+		t.Fatal("duplicate overwrote the reverse pointer")
+	}
+	if h.Lookup(pkt.Key()) != rec {
+		t.Fatal("Lookup did not find the record")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		j := Jitter(rng)
+		if j < time.Millisecond || j >= RebroadcastJitter {
+			t.Fatalf("jitter %v outside [1ms, %v)", j, RebroadcastJitter)
+		}
+	}
+}
+
+// envStub implements the slice of network.Env Pending needs.
+type envStub struct {
+	network.Env
+	drops map[network.DropReason]int
+}
+
+func (e *envStub) DropData(_ *packet.Packet, r network.DropReason) { e.drops[r]++ }
+
+func TestPendingFlushAndExpiry(t *testing.T) {
+	env := &envStub{drops: map[network.DropReason]int{}}
+	var p Pending
+	old := &packet.Packet{ID: 1}
+	fresh := &packet.Packet{ID: 2}
+	p.Add(old, 0, env)
+	p.Add(fresh, 2*time.Second, env)
+	var flushed []uint64
+	p.Flush(4*time.Second, env, func(pkt *packet.Packet) { flushed = append(flushed, pkt.ID) })
+	if len(flushed) != 1 || flushed[0] != 2 {
+		t.Fatalf("flushed %v, want just the fresh packet", flushed)
+	}
+	if env.drops[network.DropExpired] != 1 {
+		t.Fatalf("drops = %v, want one expired", env.drops)
+	}
+	if p.Len() != 0 {
+		t.Fatal("buffer not empty after flush")
+	}
+}
+
+func TestPendingCapOverflow(t *testing.T) {
+	env := &envStub{drops: map[network.DropReason]int{}}
+	var p Pending
+	for i := 0; i < PendingCap+5; i++ {
+		p.Add(&packet.Packet{ID: uint64(i)}, 0, env)
+	}
+	if p.Len() != PendingCap {
+		t.Fatalf("Len = %d, want cap %d", p.Len(), PendingCap)
+	}
+	if env.drops[network.DropCongestion] != 5 {
+		t.Fatalf("drops = %v, want 5 congestion", env.drops)
+	}
+}
+
+func TestPendingDropAll(t *testing.T) {
+	env := &envStub{drops: map[network.DropReason]int{}}
+	var p Pending
+	for i := 0; i < 3; i++ {
+		p.Add(&packet.Packet{ID: uint64(i)}, 0, env)
+	}
+	p.DropAll(env, network.DropNoRoute)
+	if p.Len() != 0 || env.drops[network.DropNoRoute] != 3 {
+		t.Fatalf("after DropAll: len %d drops %v", p.Len(), env.drops)
+	}
+}
+
+func TestDijkstraLineGraph(t *testing.T) {
+	g := NewGraph(4)
+	g.SetEdge(0, 1, 1)
+	g.SetEdge(1, 2, 1.67)
+	g.SetEdge(2, 3, 5)
+	next, dist := g.ShortestPaths(0)
+	if next[3] != 1 {
+		t.Fatalf("next hop toward 3 = %d, want 1", next[3])
+	}
+	if want := 1 + 1.67 + 5; dist[3] != want {
+		t.Fatalf("dist[3] = %v, want %v", dist[3], want)
+	}
+	if next[0] != -1 {
+		t.Fatalf("next hop to self = %d, want -1", next[0])
+	}
+}
+
+func TestDijkstraPrefersCheapLongPath(t *testing.T) {
+	// Direct edge expensive (class D = 5), two-hop path cheap (1 + 1).
+	g := NewGraph(3)
+	g.SetEdge(0, 2, 5)
+	g.SetEdge(0, 1, 1)
+	g.SetEdge(1, 2, 1)
+	next, dist := g.ShortestPaths(0)
+	if next[2] != 1 {
+		t.Fatalf("next hop = %d, want detour via 1", next[2])
+	}
+	if dist[2] != 2 {
+		t.Fatalf("dist = %v, want 2", dist[2])
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := NewGraph(4)
+	g.SetEdge(0, 1, 1)
+	// 2,3 disconnected.
+	next, dist := g.ShortestPaths(0)
+	if next[2] != -1 || dist[2] < InfiniteHops {
+		t.Fatalf("unreachable node: next %d dist %v", next[2], dist[2])
+	}
+}
+
+func TestDijkstraEdgeRemoval(t *testing.T) {
+	g := NewGraph(3)
+	g.SetEdge(0, 1, 1)
+	g.SetEdge(1, 2, 1)
+	g.RemoveEdge(1, 2)
+	next, _ := g.ShortestPaths(0)
+	if next[2] != -1 {
+		t.Fatal("removed edge still routable")
+	}
+	if _, ok := g.Edge(1, 2); ok {
+		t.Fatal("Edge reports removed edge")
+	}
+}
+
+func TestDijkstraClearNode(t *testing.T) {
+	g := NewGraph(4)
+	g.SetEdge(0, 1, 1)
+	g.SetEdge(1, 2, 1)
+	g.SetEdge(1, 3, 1)
+	g.ClearNode(1)
+	next, _ := g.ShortestPaths(0)
+	for _, dst := range []int{1, 2, 3} {
+		if next[dst] != -1 {
+			t.Fatalf("route to %d survived ClearNode(1)", dst)
+		}
+	}
+}
+
+func TestDijkstraDeterministic(t *testing.T) {
+	// Equal-cost diamond: 0-1-3 and 0-2-3 both cost 2. Repeated runs must
+	// pick the same next hop.
+	g := NewGraph(4)
+	g.SetEdge(0, 1, 1)
+	g.SetEdge(0, 2, 1)
+	g.SetEdge(1, 3, 1)
+	g.SetEdge(2, 3, 1)
+	first, _ := g.ShortestPaths(0)
+	for i := 0; i < 50; i++ {
+		next, _ := g.ShortestPaths(0)
+		if next[3] != first[3] {
+			t.Fatal("equal-cost tie-break is nondeterministic")
+		}
+	}
+	if first[3] != 1 {
+		t.Fatalf("tie-break picked %d, want lowest id 1", first[3])
+	}
+}
+
+// TestDijkstraMatchesBruteForce cross-checks optimal distances against
+// exhaustive path enumeration on small random graphs.
+func TestDijkstraMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 7
+		g := NewGraph(n)
+		weights := []float64{1, 1.67, 3.33, 5}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					g.SetEdge(i, j, weights[rng.Intn(len(weights))])
+				}
+			}
+		}
+		_, dist := g.ShortestPaths(0)
+		brute := bruteDistances(g, 0)
+		for v := 0; v < n; v++ {
+			if diff := dist[v] - brute[v]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteDistances is Bellman-Ford style relaxation to convergence.
+func bruteDistances(g *Graph, src int) []float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = InfiniteHops
+	}
+	dist[src] = 0
+	for iter := 0; iter < n; iter++ {
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if w, ok := g.Edge(u, v); ok && dist[u]+w < dist[v] {
+					dist[v] = dist[u] + w
+				}
+			}
+		}
+	}
+	return dist
+}

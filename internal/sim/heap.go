@@ -1,0 +1,75 @@
+package sim
+
+import "time"
+
+// event is a single queue entry. Events are ordered by (at, seq): seq is a
+// strictly increasing scheduling counter, so two events scheduled for the
+// same instant fire in the order they were scheduled (FIFO). Cancellation
+// is lazy: cancelled entries stay in the heap and are skipped on pop,
+// which makes Timer.Cancel O(1).
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        Handler
+	cancelled bool
+}
+
+// eventHeap is a hand-rolled binary min-heap. We avoid container/heap's
+// interface indirection because the event queue is the hottest structure
+// in the simulator (hundreds of thousands of pushes per run).
+type eventHeap []*event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() *event {
+	old := *h
+	n := len(old)
+	top := old[0]
+	old[0] = old[n-1]
+	old[n-1] = nil // allow the popped event to be collected
+	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}

@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelZeroValueUsable(t *testing.T) {
+	var k Kernel
+	fired := false
+	k.Schedule(time.Second, func(now time.Duration) { fired = true })
+	k.RunAll()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if k.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", k.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []time.Duration
+	delays := []time.Duration{5 * time.Second, time.Second, 3 * time.Second, 2 * time.Second, 4 * time.Second}
+	for _, d := range delays {
+		k.Schedule(d, func(now time.Duration) { got = append(got, now) })
+	}
+	k.RunAll()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != len(delays) {
+		t.Fatalf("fired %d events, want %d", len(got), len(delays))
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.Schedule(time.Second, func(time.Duration) { got = append(got, i) })
+	}
+	k.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d got event %d; simultaneous events must be FIFO", i, v)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(time.Second, func(now time.Duration) {
+		k.Schedule(-time.Minute, func(inner time.Duration) {
+			if inner != time.Second {
+				t.Errorf("negative delay fired at %v, want 1s", inner)
+			}
+		})
+	})
+	k.RunAll()
+}
+
+func TestAtInPastClampsToNow(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(2*time.Second, func(now time.Duration) {
+		k.At(time.Second, func(inner time.Duration) {
+			if inner != 2*time.Second {
+				t.Errorf("past At fired at %v, want 2s", inner)
+			}
+		})
+	})
+	k.RunAll()
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.Schedule(time.Second, func(time.Duration) { fired = true })
+	tm.Cancel()
+	k.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !tm.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	k := NewKernel()
+	tm := k.Schedule(time.Second, func(time.Duration) {})
+	tm.Cancel()
+	tm.Cancel() // must not panic
+	var nilTimer *Timer
+	nilTimer.Cancel() // nil receiver must be safe
+	k.RunAll()
+}
+
+func TestCancelFromWithinEarlierEvent(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	later := k.Schedule(2*time.Second, func(time.Duration) { fired = true })
+	k.Schedule(time.Second, func(time.Duration) { later.Cancel() })
+	k.RunAll()
+	if fired {
+		t.Fatal("event cancelled by an earlier event still fired")
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	k := NewKernel()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		k.Schedule(d*time.Second, func(now time.Duration) { fired = append(fired, now) })
+	}
+	k.Run(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events before horizon, want 3 (inclusive)", len(fired))
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("clock = %v after Run(3s), want 3s", k.Now())
+	}
+	k.Run(10 * time.Second)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestRunAdvancesClockToHorizonWhenQueueDrains(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(time.Second, func(time.Duration) {})
+	k.Run(10 * time.Second)
+	if k.Now() != 10*time.Second {
+		t.Fatalf("clock = %v, want horizon 10s", k.Now())
+	}
+}
+
+func TestStopInterruptsRun(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.Schedule(time.Duration(i)*time.Second, func(time.Duration) {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run(time.Hour)
+	if count != 3 {
+		t.Fatalf("Stop did not interrupt Run: %d events fired", count)
+	}
+}
+
+func TestHandlerCanScheduleMoreEvents(t *testing.T) {
+	k := NewKernel()
+	depth := 0
+	var recurse Handler
+	recurse = func(now time.Duration) {
+		depth++
+		if depth < 50 {
+			k.Schedule(time.Millisecond, recurse)
+		}
+	}
+	k.Schedule(0, recurse)
+	k.RunAll()
+	if depth != 50 {
+		t.Fatalf("chained scheduling depth = %d, want 50", depth)
+	}
+	if k.Now() != 49*time.Millisecond {
+		t.Fatalf("clock = %v, want 49ms", k.Now())
+	}
+}
+
+func TestExecutedCounts(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 7; i++ {
+		k.Schedule(time.Duration(i), func(time.Duration) {})
+	}
+	cancelled := k.Schedule(time.Hour, func(time.Duration) {})
+	cancelled.Cancel()
+	k.RunAll()
+	if k.Executed() != 7 {
+		t.Fatalf("Executed() = %d, want 7 (cancelled events do not count)", k.Executed())
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil handler) did not panic")
+		}
+	}()
+	NewKernel().Schedule(time.Second, nil)
+}
+
+// TestHeapPropertyOrdering pushes random event times and checks pops come
+// out sorted, for many random configurations.
+func TestHeapPropertyOrdering(t *testing.T) {
+	f := func(delaysRaw []uint32) bool {
+		var h eventHeap
+		for i, d := range delaysRaw {
+			h.push(&event{at: time.Duration(d) * time.Microsecond, seq: uint64(i)})
+		}
+		var prev *event
+		for len(h) > 0 {
+			ev := h.pop()
+			if prev != nil {
+				if ev.at < prev.at {
+					return false
+				}
+				if ev.at == prev.at && ev.seq < prev.seq {
+					return false // FIFO violated among ties
+				}
+			}
+			prev = ev
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelPropertyMonotonicClock(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		last := time.Duration(-1)
+		ok := true
+		var schedule func(time.Duration)
+		schedule = func(now time.Duration) {
+			if now < last {
+				ok = false
+			}
+			last = now
+			if rng.Intn(3) > 0 {
+				k.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, schedule)
+			}
+		}
+		for i := 0; i < int(n)%32+1; i++ {
+			k.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, schedule)
+		}
+		k.Run(30 * time.Second)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	a := NewStreams(42).Stream(7)
+	b := NewStreams(42).Stream(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed,id) produced different sequences")
+		}
+	}
+}
+
+func TestStreamsIndependentAcrossIDs(t *testing.T) {
+	s := NewStreams(42)
+	a, b := s.Stream(1), s.Stream(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams for different ids collided %d/64 times", same)
+	}
+}
+
+func TestStreamsDifferentSeedsDiffer(t *testing.T) {
+	a := NewStreams(1).Stream(7)
+	b := NewStreams(2).Stream(7)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams for different seeds collided %d/64 times", same)
+	}
+}
+
+func TestStreamAtMatchesMixedStream(t *testing.T) {
+	s := NewStreams(9)
+	a := s.StreamAt(3, 4)
+	b := s.Stream(mix(3, 4))
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("StreamAt(kind,idx) != Stream(mix(kind,idx))")
+		}
+	}
+}
+
+func TestMixDispersesSmallIDs(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 1000; i++ {
+		v := mix(42, i)
+		if seen[v] {
+			t.Fatalf("mix collision at id %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkKernelScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		for j := 0; j < 1000; j++ {
+			k.Schedule(time.Duration(j%97)*time.Millisecond, func(time.Duration) {})
+		}
+		k.RunAll()
+	}
+}

@@ -1,0 +1,161 @@
+// Package trace records a simulation's packet-level event history — data
+// generation, delivery, drops, and control-channel transmissions — into a
+// bounded ring buffer. It exists for observability: debugging a protocol
+// or demonstrating its behaviour means seeing the sequence of events, not
+// just the end-of-run aggregates.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"rica/internal/network"
+	"rica/internal/packet"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	KindGenerated   Kind = iota + 1 // data packet created at its source
+	KindDelivered                   // data packet reached its destination
+	KindDropped                     // data packet discarded
+	KindControl                     // routing packet put on the common channel
+	KindControlLost                 // routing packet abandoned to congestion
+)
+
+var kindNames = map[Kind]string{
+	KindGenerated:   "GEN",
+	KindDelivered:   "DLV",
+	KindDropped:     "DRP",
+	KindControl:     "CTL",
+	KindControlLost: "CTL-LOST",
+}
+
+// String names the kind for log lines.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At         time.Duration
+	Kind       Kind
+	Node       int // terminal where the event happened
+	PacketID   uint64
+	PacketType packet.Type
+	Src, Dst   int
+	Detail     string // drop reason, control packet type, ...
+}
+
+// String renders the event as a log line.
+func (e Event) String() string {
+	base := fmt.Sprintf("%10s %-8s node=%-2d %s %d→%d",
+		e.At.Round(time.Microsecond), e.Kind, e.Node, e.PacketType, e.Src, e.Dst)
+	if e.Detail != "" {
+		return base + " (" + e.Detail + ")"
+	}
+	return base
+}
+
+// Recorder is a bounded ring of events. The zero value is unusable;
+// construct with NewRecorder. Filter, when set, keeps only matching
+// events (the total count still counts everything offered).
+type Recorder struct {
+	events []Event
+	next   int
+	filled bool
+	total  uint64
+
+	Filter func(Event) bool
+}
+
+// NewRecorder builds a recorder keeping the most recent capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Recorder{events: make([]Event, capacity)}
+}
+
+// Record offers an event to the ring.
+func (r *Recorder) Record(e Event) {
+	r.total++
+	if r.Filter != nil && !r.Filter(e) {
+		return
+	}
+	r.events[r.next] = e
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Total reports how many events were offered (including filtered ones).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if !r.filled {
+		out := make([]Event, r.next)
+		copy(out, r.events[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// WrapRecorder decorates a network.Recorder so that data-plane lifecycle
+// events flow into r as well as into the wrapped metrics collector.
+func WrapRecorder(inner network.Recorder, r *Recorder) network.Recorder {
+	return &tee{inner: inner, trace: r}
+}
+
+type tee struct {
+	inner network.Recorder
+	trace *Recorder
+}
+
+func (t *tee) DataGenerated(pkt *packet.Packet, now time.Duration) {
+	t.inner.DataGenerated(pkt, now)
+	t.trace.Record(Event{
+		At: now, Kind: KindGenerated, Node: pkt.Src,
+		PacketID: pkt.ID, PacketType: pkt.Type, Src: pkt.Src, Dst: pkt.Dst,
+	})
+}
+
+func (t *tee) DataDelivered(pkt *packet.Packet, now time.Duration) {
+	t.inner.DataDelivered(pkt, now)
+	t.trace.Record(Event{
+		At: now, Kind: KindDelivered, Node: pkt.Dst,
+		PacketID: pkt.ID, PacketType: pkt.Type, Src: pkt.Src, Dst: pkt.Dst,
+		Detail: fmt.Sprintf("delay=%s hops=%d", (now - pkt.CreatedAt).Round(time.Millisecond), pkt.TraversedHops),
+	})
+}
+
+func (t *tee) DataDropped(pkt *packet.Packet, reason network.DropReason, now time.Duration) {
+	t.inner.DataDropped(pkt, reason, now)
+	t.trace.Record(Event{
+		At: now, Kind: KindDropped, Node: pkt.From,
+		PacketID: pkt.ID, PacketType: pkt.Type, Src: pkt.Src, Dst: pkt.Dst,
+		Detail: reason.String(),
+	})
+}
+
+// ControlHook returns a mac.CommonChannel.OnTransmit-compatible function
+// that records control transmissions; chain it after the metrics hook.
+func (r *Recorder) ControlHook() func(pkt *packet.Packet, from int, now time.Duration) {
+	return func(pkt *packet.Packet, from int, now time.Duration) {
+		r.Record(Event{
+			At: now, Kind: KindControl, Node: from,
+			PacketID: pkt.ID, PacketType: pkt.Type, Src: pkt.Src, Dst: pkt.Dst,
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rica/internal/network"
+	"rica/internal/packet"
+)
+
+func ev(id uint64, at time.Duration) Event {
+	return Event{At: at, Kind: KindControl, PacketID: id, PacketType: packet.TypeRREQ}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRecorder(3)
+	for i := uint64(1); i <= 5; i++ {
+		r.Record(ev(i, time.Duration(i)))
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if got[i].PacketID != want {
+			t.Fatalf("events = %+v, want ids 3,4,5", got)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestPartialRing(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(ev(1, 1))
+	r.Record(ev(2, 2))
+	got := r.Events()
+	if len(got) != 2 || got[0].PacketID != 1 || got[1].PacketID != 2 {
+		t.Fatalf("events = %+v", got)
+	}
+}
+
+func TestFilterKeepsCounting(t *testing.T) {
+	r := NewRecorder(10)
+	r.Filter = func(e Event) bool { return e.Kind == KindDropped }
+	r.Record(ev(1, 1)) // filtered out
+	r.Record(Event{Kind: KindDropped, PacketID: 2})
+	if got := r.Events(); len(got) != 1 || got[0].PacketID != 2 {
+		t.Fatalf("events = %+v", got)
+	}
+	if r.Total() != 2 {
+		t.Fatalf("Total = %d, want 2 (filtered events still count)", r.Total())
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRecorder(0) did not panic")
+		}
+	}()
+	NewRecorder(0)
+}
+
+type sink struct {
+	gen, dlv, drp int
+}
+
+func (s *sink) DataGenerated(*packet.Packet, time.Duration)                   { s.gen++ }
+func (s *sink) DataDelivered(*packet.Packet, time.Duration)                   { s.dlv++ }
+func (s *sink) DataDropped(*packet.Packet, network.DropReason, time.Duration) { s.drp++ }
+
+func TestWrapRecorderTees(t *testing.T) {
+	inner := &sink{}
+	r := NewRecorder(10)
+	w := WrapRecorder(inner, r)
+	pkt := &packet.Packet{Type: packet.TypeData, ID: 7, Src: 1, Dst: 2, CreatedAt: time.Second}
+	w.DataGenerated(pkt, time.Second)
+	w.DataDelivered(pkt, 2*time.Second)
+	w.DataDropped(pkt, network.DropCongestion, 3*time.Second)
+	if inner.gen != 1 || inner.dlv != 1 || inner.drp != 1 {
+		t.Fatalf("inner recorder missed events: %+v", inner)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("trace events = %d, want 3", len(evs))
+	}
+	if evs[0].Kind != KindGenerated || evs[1].Kind != KindDelivered || evs[2].Kind != KindDropped {
+		t.Fatalf("kinds = %v %v %v", evs[0].Kind, evs[1].Kind, evs[2].Kind)
+	}
+	if !strings.Contains(evs[1].Detail, "delay=1s") {
+		t.Fatalf("delivery detail = %q", evs[1].Detail)
+	}
+	if evs[2].Detail != "congestion" {
+		t.Fatalf("drop detail = %q", evs[2].Detail)
+	}
+}
+
+func TestControlHook(t *testing.T) {
+	r := NewRecorder(4)
+	hook := r.ControlHook()
+	hook(&packet.Packet{Type: packet.TypeCSIC, Src: 1, Dst: 2}, 5, time.Second)
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Kind != KindControl || evs[0].Node != 5 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		At: 1500 * time.Millisecond, Kind: KindDropped, Node: 3,
+		PacketType: packet.TypeData, Src: 1, Dst: 2, Detail: "expired",
+	}
+	s := e.String()
+	for _, want := range []string{"DRP", "node=3", "DATA", "1→2", "expired"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

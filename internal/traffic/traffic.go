@@ -1,0 +1,84 @@
+// Package traffic generates the paper's workload: a fixed set of
+// source/destination terminal pairs, each producing 512-byte data packets
+// as a Poisson process (exponential inter-arrival times) at 10 or 20
+// packets per second.
+package traffic
+
+import (
+	"math/rand"
+	"time"
+
+	"rica/internal/network"
+	"rica/internal/packet"
+	"rica/internal/sim"
+)
+
+// Flow is one unidirectional Poisson stream of data packets.
+type Flow struct {
+	Src, Dst int
+	// Rate is the mean packet generation rate in packets per second.
+	Rate float64
+}
+
+// ChoosePairs draws count flows with all endpoints distinct, uniformly at
+// random from n terminals, each at the given rate. It panics when n is too
+// small for the requested number of disjoint pairs.
+func ChoosePairs(n, count int, rate float64, rng *rand.Rand) []Flow {
+	if 2*count > n {
+		panic("traffic: not enough terminals for disjoint pairs")
+	}
+	perm := rng.Perm(n)
+	flows := make([]Flow, count)
+	for i := range flows {
+		flows[i] = Flow{Src: perm[2*i], Dst: perm[2*i+1], Rate: rate}
+	}
+	return flows
+}
+
+// streamKindFlow namespaces per-flow arrival streams.
+const streamKindFlow = 0x_F10A
+
+// Generator drives a set of flows against the network layer.
+type Generator struct {
+	kernel *sim.Kernel
+	nodes  []*network.Node
+	nextID uint64
+}
+
+// NewGenerator builds a generator injecting into nodes.
+func NewGenerator(kernel *sim.Kernel, nodes []*network.Node) *Generator {
+	return &Generator{kernel: kernel, nodes: nodes}
+}
+
+// Start schedules Poisson arrivals for every flow from time zero until
+// stop. Each flow draws from its own deterministic stream.
+func (g *Generator) Start(flows []Flow, streams *sim.Streams, stop time.Duration) {
+	for i, f := range flows {
+		if f.Rate <= 0 {
+			continue
+		}
+		rng := streams.StreamAt(streamKindFlow, uint64(i))
+		g.scheduleNext(f, rng, stop)
+	}
+}
+
+// scheduleNext arms the next arrival for flow f.
+func (g *Generator) scheduleNext(f Flow, rng *rand.Rand, stop time.Duration) {
+	gap := time.Duration(rng.ExpFloat64() / f.Rate * float64(time.Second))
+	g.kernel.Schedule(gap, func(now time.Duration) {
+		if now >= stop {
+			return
+		}
+		g.nextID++
+		pkt := &packet.Packet{
+			Type:      packet.TypeData,
+			ID:        g.nextID,
+			Src:       f.Src,
+			Dst:       f.Dst,
+			Size:      packet.SizeData,
+			CreatedAt: now,
+		}
+		g.nodes[f.Src].OriginateData(pkt, now)
+		g.scheduleNext(f, rng, stop)
+	})
+}

@@ -1,0 +1,78 @@
+package world
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderMap draws the network at virtual time at as an ASCII field map:
+// terminals appear as their id's last digit, flow sources as 'S' and
+// destinations as 'D'. It is a debugging and demonstration aid — seeing
+// where the terminals wandered explains most delivery mysteries.
+func (w *World) RenderMap(at time.Duration, cols, rows int) string {
+	if cols < 10 {
+		cols = 10
+	}
+	if rows < 5 {
+		rows = 5
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(".", cols))
+	}
+	mark := func(x, y float64, c byte) {
+		cx := int(x / w.Cfg.Field.Width * float64(cols))
+		cy := int(y / w.Cfg.Field.Height * float64(rows))
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy >= rows {
+			cy = rows - 1
+		}
+		if cx < 0 {
+			cx = 0
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		grid[cy][cx] = c
+	}
+
+	endpoints := make(map[int]byte)
+	for _, f := range w.Flows {
+		endpoints[f.Src] = 'S'
+		endpoints[f.Dst] = 'D'
+	}
+	for i := 0; i < w.Cfg.N; i++ {
+		p := w.Model.Position(i, at)
+		c, special := endpoints[i]
+		if !special {
+			c = byte('0' + i%10)
+		}
+		mark(p.X, p.Y, c)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%v, %d terminals on %.0fx%.0f m (S=flow source, D=destination)\n",
+		at.Round(time.Millisecond), w.Cfg.N, w.Cfg.Field.Width, w.Cfg.Field.Height)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CountLinks reports how many terminal pairs are within radio range at
+// time at — a connectivity density gauge.
+func (w *World) CountLinks(at time.Duration) int {
+	links := 0
+	for i := 0; i < w.Cfg.N; i++ {
+		for j := i + 1; j < w.Cfg.N; j++ {
+			if w.Model.InRange(i, j, at) {
+				links++
+			}
+		}
+	}
+	return links
+}

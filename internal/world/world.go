@@ -1,0 +1,226 @@
+// Package world assembles a complete simulation: mobility trajectories,
+// the fading channel, both MAC planes, the per-terminal network runtime,
+// one routing agent per terminal, the Poisson workload, and a metrics
+// collector. It is the integration point the experiment harness, the
+// protocol integration tests, and the examples all build on.
+package world
+
+import (
+	"time"
+
+	"rica/internal/channel"
+	"rica/internal/energy"
+	"rica/internal/geom"
+	"rica/internal/mac"
+	"rica/internal/metrics"
+	"rica/internal/mobility"
+	"rica/internal/network"
+	"rica/internal/packet"
+	"rica/internal/routing"
+	"rica/internal/sim"
+	"rica/internal/trace"
+	"rica/internal/traffic"
+)
+
+// Stream namespaces for the deterministic per-component RNGs.
+const (
+	streamKindMobility = 0x_30B1
+	streamKindMAC      = 0x_3AC0
+	streamKindNode     = 0x_40DE
+	streamKindPairs    = 0x_9A12
+)
+
+// Config describes one simulation run. DefaultConfig returns the paper's
+// §III.A environment.
+type Config struct {
+	// N is the number of terminals (paper: 50).
+	N int
+	// Field is the roaming rectangle (paper: 1000 m × 1000 m).
+	Field geom.Field
+	// MaxSpeed is MAXSPEED in m/s: per-leg speeds are uniform in
+	// [0, MaxSpeed], so the mean speed is MaxSpeed/2. The paper's x-axes
+	// plot the mean.
+	MaxSpeed float64
+	// Pause is the waypoint dwell time (paper: 3 s).
+	Pause time.Duration
+	// Channel is the fading/quantizer calibration.
+	Channel channel.Config
+	// Node holds the buffer discipline (cap 10, lifetime 3 s).
+	Node network.NodeConfig
+	// Flows is the workload; when nil, NumFlows disjoint random pairs at
+	// FlowRate packets/s are drawn per trial.
+	Flows    []traffic.Flow
+	NumFlows int
+	FlowRate float64
+	// Duration is the simulated time (paper: 500 s).
+	Duration time.Duration
+	// Seed selects the trial's random universe; every stochastic component
+	// derives its stream from it.
+	Seed int64
+	// StaticPositions, when non-nil, pins every terminal to a scripted
+	// location (N is overridden to its length and MaxSpeed to zero).
+	// Failure-injection and topology-specific tests use this to build
+	// partitions, chains, and grids deterministically.
+	StaticPositions []geom.Point
+	// Trace, when non-nil, receives the run's packet-level event history
+	// (bounded by the recorder's capacity).
+	Trace *trace.Recorder
+}
+
+// DefaultConfig returns the paper's simulation environment with the given
+// mean mobile speed (km/h, the figures' x-axis) and traffic load
+// (packets/s per flow).
+func DefaultConfig(meanSpeedKmh, pktPerSec float64) Config {
+	return Config{
+		N:        50,
+		Field:    geom.Field{Width: 1000, Height: 1000},
+		MaxSpeed: mobility.KmhToMs(2 * meanSpeedKmh), // uniform [0, MAX] has mean MAX/2
+		Pause:    3 * time.Second,
+		Channel:  channel.DefaultConfig(),
+		Node:     network.DefaultNodeConfig(),
+		NumFlows: 10,
+		FlowRate: pktPerSec,
+		Duration: 500 * time.Second,
+		Seed:     1,
+	}
+}
+
+// AgentFactory builds terminal id's routing agent around its Env. The
+// *World gives protocols that need global boot-time information (the
+// link-state protocol's installed topology) access to it.
+type AgentFactory func(env network.Env, w *World, id int) network.Agent
+
+// World is one fully wired simulation instance.
+type World struct {
+	Cfg       Config
+	Kernel    *sim.Kernel
+	Streams   *sim.Streams
+	Mobility  []*mobility.Node
+	Model     *channel.Model
+	Common    *mac.CommonChannel
+	Data      *mac.DataPlane
+	Nodes     []*network.Node
+	Collector *metrics.Collector
+	Meter     *energy.Meter
+	Flows     []traffic.Flow
+
+	topo0 *routing.Graph // lazily built boot topology snapshot
+}
+
+// New assembles a world. Construction is deterministic in cfg.Seed.
+func New(cfg Config, factory AgentFactory) *World {
+	kernel := sim.NewKernel()
+	streams := sim.NewStreams(cfg.Seed)
+
+	var mob []*mobility.Node
+	var pos []channel.Positioner
+	if cfg.StaticPositions != nil {
+		cfg.N = len(cfg.StaticPositions)
+		pos = make([]channel.Positioner, cfg.N)
+		for i, p := range cfg.StaticPositions {
+			pos[i] = pinned(p)
+		}
+	} else {
+		mob = make([]*mobility.Node, cfg.N)
+		pos = make([]channel.Positioner, cfg.N)
+		mcfg := mobility.Config{Field: cfg.Field, MaxSpeed: cfg.MaxSpeed, Pause: cfg.Pause}
+		for i := range mob {
+			mob[i] = mobility.NewNode(mcfg, streams.StreamAt(streamKindMobility, uint64(i)))
+			pos[i] = mob[i]
+		}
+	}
+
+	model := channel.NewModel(cfg.Channel, streams, pos)
+	common := mac.NewCommonChannel(kernel, model, streams.Stream(streamKindMAC))
+	data := mac.NewDataPlane(kernel, model)
+	collector := metrics.NewCollector(cfg.Duration)
+	meter := energy.NewMeter(energy.DefaultModel(), cfg.N)
+	traceControl := func(*packet.Packet, int, time.Duration) {}
+	if cfg.Trace != nil {
+		traceControl = cfg.Trace.ControlHook()
+	}
+	common.OnTransmit = func(pkt *packet.Packet, from int, now time.Duration) {
+		collector.ControlTransmitted(pkt, from, now)
+		meter.ControlTransmitted(pkt, from, now)
+		traceControl(pkt, from, now)
+	}
+	common.OnDropped = collector.ControlDropped
+	data.OnAck = collector.AckTransmitted
+	data.OnDataTransmit = meter.DataTransmitted
+
+	var recorder network.Recorder = collector
+	if cfg.Trace != nil {
+		recorder = trace.WrapRecorder(collector, cfg.Trace)
+	}
+
+	w := &World{
+		Cfg:       cfg,
+		Kernel:    kernel,
+		Streams:   streams,
+		Mobility:  mob,
+		Model:     model,
+		Common:    common,
+		Data:      data,
+		Collector: collector,
+		Meter:     meter,
+	}
+
+	w.Nodes = make([]*network.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nd := network.NewNode(i, kernel, common, data, model,
+			streams.StreamAt(streamKindNode, uint64(i)), recorder, cfg.Node)
+		w.Nodes[i] = nd
+	}
+	// Agents are attached in a second pass so factories may inspect the
+	// fully built world (e.g. the boot topology snapshot).
+	for i, nd := range w.Nodes {
+		nd.SetAgent(factory(nd, w, i))
+	}
+
+	w.Flows = cfg.Flows
+	if w.Flows == nil {
+		w.Flows = traffic.ChoosePairs(cfg.N, cfg.NumFlows, cfg.FlowRate,
+			streams.Stream(streamKindPairs))
+	}
+	return w
+}
+
+// BootTopology snapshots the channel graph at t = 0 with CSI hop-distance
+// weights — the "accurate view of the network topology installed in each
+// mobile terminal" the paper gives the link-state protocol. The snapshot
+// is computed once and shared (it is read-only to agents by convention).
+func (w *World) BootTopology() *routing.Graph {
+	if w.topo0 != nil {
+		return w.topo0
+	}
+	g := routing.NewGraph(w.Cfg.N)
+	for i := 0; i < w.Cfg.N; i++ {
+		for j := i + 1; j < w.Cfg.N; j++ {
+			if c := w.Model.Class(i, j, 0); c.Usable() {
+				g.SetEdge(i, j, c.HopDistance())
+			}
+		}
+	}
+	w.topo0 = g
+	return w.topo0
+}
+
+// Run starts every terminal and the workload, executes the simulation to
+// the configured horizon, and returns the metrics summary.
+func (w *World) Run() metrics.Summary {
+	for _, nd := range w.Nodes {
+		nd.Start()
+	}
+	gen := traffic.NewGenerator(w.Kernel, w.Nodes)
+	gen.Start(w.Flows, w.Streams, w.Cfg.Duration)
+	w.Kernel.Run(w.Cfg.Duration)
+	s := w.Collector.Summary()
+	s.Energy = w.Meter.Stats(s.GoodputBps * w.Cfg.Duration.Seconds())
+	return s
+}
+
+// pinned is the Positioner of a scripted static terminal.
+type pinned geom.Point
+
+// Position implements channel.Positioner.
+func (p pinned) Position(time.Duration) geom.Point { return geom.Point(p) }

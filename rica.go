@@ -1,0 +1,181 @@
+// Package rica is a from-scratch reproduction of "RICA: A
+// Receiver-Initiated Approach for Channel-Adaptive On-Demand Routing in Ad
+// Hoc Mobile Computing Networks" (Lin, Kwok, Lau — ICDCS 2002).
+//
+// It bundles a deterministic discrete-event wireless network simulator —
+// random-waypoint mobility, a four-class fading channel with CSI hop
+// distances, a CSMA/CA common channel plus CDMA data planes, and
+// store-and-forward terminals — together with five routing protocols
+// (RICA, BGCA, AODV, ABR, link state) and the experiment harness that
+// regenerates every figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	summary := rica.Simulate(rica.SimConfig{
+//		Protocol:     rica.ProtocolRICA,
+//		MeanSpeedKmh: 36,
+//		Rate:         10,
+//		Duration:     60 * time.Second,
+//		Seed:         1,
+//	})
+//	fmt.Printf("delivered %.1f%% with mean delay %v\n",
+//		summary.DeliveryRatio*100, summary.AvgDelay)
+//
+// Figures:
+//
+//	sweep := rica.Sweep(10, rica.Options{Trials: 5})
+//	fmt.Print(sweep.Table(rica.MetricDelay)) // Figure 2(a)
+package rica
+
+import (
+	"time"
+
+	"rica/internal/experiment"
+	"rica/internal/metrics"
+	"rica/internal/trace"
+	"rica/internal/traffic"
+	"rica/internal/world"
+)
+
+// Protocol selects one of the five compared routing protocols.
+type Protocol = experiment.Protocol
+
+// The five protocols of the paper's comparison.
+const (
+	ProtocolRICA      = experiment.RICA
+	ProtocolBGCA      = experiment.BGCA
+	ProtocolAODV      = experiment.AODV
+	ProtocolABR       = experiment.ABR
+	ProtocolLinkState = experiment.LinkState
+)
+
+// AllProtocols lists the comparison set in plotting order.
+func AllProtocols() []Protocol { return experiment.AllProtocols() }
+
+// ParseProtocol resolves a protocol name ("RICA", "AODV", ...).
+func ParseProtocol(name string) (Protocol, error) { return experiment.ParseProtocol(name) }
+
+// Summary is one simulation run's aggregated measurements.
+type Summary = metrics.Summary
+
+// Flow is one unidirectional Poisson data stream between two terminals.
+type Flow = traffic.Flow
+
+// SimConfig describes a single simulation run.
+type SimConfig struct {
+	// Protocol is the routing protocol under test.
+	Protocol Protocol
+	// MeanSpeedKmh is the mean terminal speed in km/h; terminals draw
+	// per-leg speeds uniformly from [0, 2×mean] (the paper's MAXSPEED).
+	MeanSpeedKmh float64
+	// Rate is the per-flow offered load in packets/second.
+	Rate float64
+	// Duration is the simulated horizon. Zero means the paper's 500 s.
+	Duration time.Duration
+	// Seed selects the random universe; equal seeds reproduce bit-equal
+	// runs.
+	Seed int64
+	// Flows optionally pins the workload; nil draws 10 disjoint random
+	// pairs (the paper's setup).
+	Flows []Flow
+	// BufferCap overrides the per-link data buffer capacity (paper: 10);
+	// zero keeps the default.
+	BufferCap int
+}
+
+// Simulate runs one simulation and returns its measurements.
+func Simulate(cfg SimConfig) Summary {
+	s, _ := simulate(cfg, nil)
+	return s
+}
+
+// TraceEvent is one packet-level event from a traced run.
+type TraceEvent = trace.Event
+
+// Trace event kinds.
+const (
+	TraceGenerated   = trace.KindGenerated
+	TraceDelivered   = trace.KindDelivered
+	TraceDropped     = trace.KindDropped
+	TraceControl     = trace.KindControl
+	TraceControlLost = trace.KindControlLost
+)
+
+// SimulateTraced runs one simulation while recording its packet-level
+// event history (the most recent capacity events), for debugging and
+// demonstrations.
+func SimulateTraced(cfg SimConfig, capacity int) (Summary, []TraceEvent) {
+	rec := trace.NewRecorder(capacity)
+	s, _ := simulate(cfg, rec)
+	return s, rec.Events()
+}
+
+func simulate(cfg SimConfig, rec *trace.Recorder) (Summary, *trace.Recorder) {
+	wcfg := world.DefaultConfig(cfg.MeanSpeedKmh, cfg.Rate)
+	if cfg.Duration > 0 {
+		wcfg.Duration = cfg.Duration
+	}
+	if cfg.Seed != 0 {
+		wcfg.Seed = cfg.Seed
+	}
+	if cfg.Flows != nil {
+		wcfg.Flows = cfg.Flows
+	}
+	if cfg.BufferCap > 0 {
+		wcfg.Node.BufferCap = cfg.BufferCap
+	}
+	wcfg.Trace = rec
+	return world.New(wcfg, experiment.Factory(cfg.Protocol, cfg.Rate)).Run(), rec
+}
+
+// RunConfig describes one experimental cell (a protocol × speed × load
+// point averaged over trials); Result carries its per-trial summaries and
+// across-trial means.
+type (
+	RunConfig = experiment.RunConfig
+	Result    = experiment.Result
+	Averages  = experiment.Averages
+)
+
+// Run executes one experimental cell.
+func Run(cfg RunConfig) Result { return experiment.Run(cfg) }
+
+// Options sets the experiment grid (speeds, trials, duration, protocols);
+// zero values default to the paper's full scale.
+type Options = experiment.Options
+
+// Metric selects a sweep projection: delay (Figure 2), delivery
+// (Figure 3) or overhead (Figure 4).
+type Metric = experiment.Metric
+
+// Sweep projections.
+const (
+	MetricDelay    = experiment.MetricDelay
+	MetricDelivery = experiment.MetricDelivery
+	MetricOverhead = experiment.MetricOverhead
+)
+
+// SweepResult, QualityResult and SeriesResult are the figure data sets.
+type (
+	SweepResult   = experiment.SweepResult
+	QualityResult = experiment.QualityResult
+	SeriesResult  = experiment.SeriesResult
+)
+
+// Sweep runs the mobility sweep behind Figures 2, 3 and 4 at the given
+// per-flow load (packets/s).
+func Sweep(load float64, o Options) SweepResult { return experiment.Sweep(load, o) }
+
+// Quality runs Figure 5's route-quality experiment.
+func Quality(speedKmh, load float64, o Options) QualityResult {
+	return experiment.Quality(speedKmh, load, o)
+}
+
+// Series runs Figure 6's aggregate-throughput time series.
+func Series(load, speedKmh float64, o Options) SeriesResult {
+	return experiment.Series(load, speedKmh, o)
+}
+
+// Figure6SpeedKmh is the mobility used for Figure 6 (the paper does not
+// state one; low-to-moderate mobility matches its curves).
+const Figure6SpeedKmh = 18.0
