@@ -1,11 +1,16 @@
 // Command ricasim regenerates the tables behind every figure of the RICA
-// paper's evaluation (ICDCS 2002, §III).
+// paper's evaluation (ICDCS 2002, §III) and mass-executes declarative
+// scenarios through the parallel batch engine.
 //
 // Usage:
 //
 //	ricasim -figure 2a                    # one figure at CI scale
 //	ricasim -figure all -trials 25 -duration 500s   # full paper scale
 //	ricasim -figure 3b -protocols RICA,AODV -speeds 0,36,72
+//	ricasim -list-scenarios               # the built-in scenario catalog
+//	ricasim -scenario dense-urban -protocols RICA,AODV -out results.json
+//	ricasim -scenario chain-10,grid-8x8 -trials 5 -format csv
+//	ricasim -scenario my-spec.json        # a hand-written JSON spec
 //
 // Figures: 2a/2b delay, 3a/3b delivery, 4a/4b overhead (a = 10 packets/s,
 // b = 20 packets/s), 5a/5b route quality at 72 km/h, 6a/6b throughput
@@ -25,34 +30,49 @@ import (
 
 func main() {
 	var (
-		figure    = flag.String("figure", "all", "figure to regenerate: 2a..6b or 'all'")
-		trials    = flag.Int("trials", 5, "trials per experimental cell (paper: 25)")
-		duration  = flag.Duration("duration", 120*time.Second, "simulated time per trial (paper: 500s)")
-		seed      = flag.Int64("seed", 1, "base random seed; trial t uses seed+t")
-		speeds    = flag.String("speeds", "0,12,24,36,48,60,72", "comma-separated mean speeds (km/h)")
-		protocols = flag.String("protocols", "", "comma-separated protocol subset (default: all five)")
-		format    = flag.String("format", "table", "output format: table, csv, or chart (chart: figures 6a/6b only)")
+		figure      = flag.String("figure", "all", "figure to regenerate: 2a..6b or 'all'")
+		trials      = flag.Int("trials", 5, "trials per experimental cell (paper: 25)")
+		duration    = flag.Duration("duration", 120*time.Second, "simulated time per trial (paper: 500s; scenarios default to their spec)")
+		seed        = flag.Int64("seed", 1, "base random seed; trial t uses seed+t")
+		speeds      = flag.String("speeds", "0,12,24,36,48,60,72", "comma-separated mean speeds (km/h)")
+		protocols   = flag.String("protocols", "", "comma-separated protocol subset (default: all five)")
+		format      = flag.String("format", "table", "output format: table, csv, json (batch), or chart (figures 6a/6b)")
+		parallelism = flag.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
+		scenarios   = flag.String("scenario", "", "run a batch over comma-separated scenario names and/or JSON spec files")
+		list        = flag.Bool("list-scenarios", false, "print the built-in scenario catalog and exit")
+		out         = flag.String("out", "", "write batch results to this file (.json or .csv; default stdout)")
 	)
 	flag.Parse()
 
+	if *list {
+		listScenarios()
+		return
+	}
+	if *scenarios != "" {
+		if flagSet("figure") {
+			fatalf("-figure and -scenario are mutually exclusive")
+		}
+		runBatch(*scenarios, *protocols, *trials, *seed, *parallelism, *duration, *format, *out)
+		return
+	}
+
+	if *format == "json" {
+		fatalf("-format json is only supported with -scenario batches")
+	}
+	if *out != "" {
+		fatalf("-out is only supported with -scenario batches")
+	}
 	opts := rica.Options{
-		Trials:   *trials,
-		Duration: *duration,
-		BaseSeed: *seed,
+		Trials:      *trials,
+		Duration:    *duration,
+		BaseSeed:    *seed,
+		Parallelism: *parallelism,
 	}
 	var err error
 	if opts.Speeds, err = parseFloats(*speeds); err != nil {
 		fatalf("bad -speeds: %v", err)
 	}
-	if *protocols != "" {
-		for _, name := range strings.Split(*protocols, ",") {
-			p, err := rica.ParseProtocol(strings.TrimSpace(name))
-			if err != nil {
-				fatalf("%v", err)
-			}
-			opts.Protocols = append(opts.Protocols, p)
-		}
-	}
+	opts.Protocols = parseProtocols(*protocols)
 
 	want := strings.ToLower(*figure)
 	ran := false
@@ -133,6 +153,155 @@ func main() {
 	if !ran {
 		fatalf("unknown figure %q (want 2a..6b or all)", *figure)
 	}
+}
+
+// listScenarios prints the built-in catalog.
+func listScenarios() {
+	fmt.Printf("%-16s%7s%10s  %s\n", "name", "nodes", "duration", "description")
+	for _, name := range rica.ScenarioNames() {
+		s, err := rica.ScenarioByName(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%-16s%7d%10s  %s\n",
+			s.Name, s.Topology.NodeCount(), time.Duration(s.Duration), s.Description)
+	}
+}
+
+// runBatch executes the scenario × protocol × seed grid and writes the
+// results in the requested format.
+func runBatch(list, protocols string, trials int, seed int64, parallelism int,
+	duration time.Duration, format, out string) {
+	durationSet := flagSet("duration")
+	outFormat := ""
+	if out != "" {
+		outFormat = outputFormat(out, format) // resolve (and conflict-check) up front
+	}
+
+	cfg := rica.BatchConfig{
+		Trials:   trials,
+		BaseSeed: seed,
+		Workers:  parallelism,
+		OnProgress: func(p rica.BatchProgress) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s seed=%d delivery=%.1f%%\n",
+				p.Done, p.Total, p.Cell.Scenario, p.Cell.Protocol, p.Cell.Seed, p.Cell.DeliveryPct)
+		},
+	}
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		var (
+			spec rica.Scenario
+			err  error
+		)
+		if strings.HasSuffix(part, ".json") {
+			spec, err = rica.LoadScenario(part)
+		} else {
+			spec, err = rica.ScenarioByName(part)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if durationSet {
+			spec.Duration = rica.ScenarioDuration(duration)
+		}
+		cfg.Scenarios = append(cfg.Scenarios, spec)
+	}
+	cfg.Protocols = parseProtocols(protocols)
+
+	// Open the output before burning batch time on it.
+	var outFile *os.File
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		outFile = f
+	}
+
+	res, err := rica.RunBatch(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if outFile != nil {
+		if outFormat == "csv" {
+			err = res.WriteCSV(outFile)
+		} else {
+			err = res.WriteJSON(outFile)
+		}
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatalf("writing %s: %v", out, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+		fmt.Print(res.Table())
+		return
+	}
+	switch format {
+	case "json":
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	case "csv":
+		if err := res.WriteCSV(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fmt.Print(res.Table())
+	}
+}
+
+// flagSet reports whether the named flag was given explicitly.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// outputFormat resolves what bytes go into -out. The file extension is
+// authoritative (.json/.csv); an explicitly conflicting -format is an
+// error, and other extensions follow -format (defaulting to json).
+func outputFormat(out, format string) string {
+	ext := ""
+	switch {
+	case strings.HasSuffix(out, ".json"):
+		ext = "json"
+	case strings.HasSuffix(out, ".csv"):
+		ext = "csv"
+	}
+	if ext != "" {
+		if flagSet("format") && format != ext && (format == "json" || format == "csv") {
+			fatalf("-format %s conflicts with -out %s", format, out)
+		}
+		return ext
+	}
+	if format == "csv" || format == "json" {
+		return format
+	}
+	return "json"
+}
+
+// parseProtocols resolves a comma-separated protocol subset; empty means
+// "all five" (nil).
+func parseProtocols(s string) []rica.Protocol {
+	if s == "" {
+		return nil
+	}
+	var out []rica.Protocol
+	for _, name := range strings.Split(s, ",") {
+		p, err := rica.ParseProtocol(strings.TrimSpace(name))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 func protocolsOf(o rica.Options) []rica.Protocol {

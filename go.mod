@@ -1,0 +1,3 @@
+module rica
+
+go 1.24

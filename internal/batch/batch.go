@@ -1,0 +1,233 @@
+// Package batch mass-executes scenarios. It expands a scenario ×
+// protocol × seed grid into independent cells, runs them across a worker
+// pool sized to the hardware (or an explicit parallelism cap), streams
+// progress as cells finish, and folds the per-cell summaries into
+// mean/p50/p95 aggregates per (scenario, protocol). Every cell's seed is
+// a deterministic function of the grid, and results are assembled in grid
+// order regardless of completion order — so the same specs and base seed
+// produce bit-identical exported output no matter how many workers ran.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"rica/internal/experiment"
+	"rica/internal/metrics"
+	"rica/internal/scenario"
+	"rica/internal/world"
+)
+
+// Config describes one batch: the grid to expand and how hard to run it.
+type Config struct {
+	// Scenarios and Protocols span the grid; empty Protocols means the
+	// paper's full five-protocol comparison set.
+	Scenarios []scenario.Spec
+	Protocols []experiment.Protocol
+	// Trials is the number of seeds per (scenario, protocol) cell;
+	// defaults to 3.
+	Trials int
+	// BaseSeed offsets the trial seeds: trial t runs seed BaseSeed+t, the
+	// same universe across scenarios and protocols so comparisons share
+	// sample paths. The zero value is a sentinel for the default (1); to
+	// start the grid at the actual seed 0, set SeedZero.
+	BaseSeed int64
+	// SeedZero forces BaseSeed 0, which the BaseSeed field's zero
+	// sentinel cannot express on its own. Ignored when BaseSeed is
+	// nonzero (mirrors SimConfig.SeedZero).
+	SeedZero bool
+	// Workers caps concurrent cells; 0 means GOMAXPROCS.
+	Workers int
+	// OnProgress, if set, is called after every finished cell (from worker
+	// goroutines, serialized by the engine).
+	OnProgress func(p Progress)
+}
+
+// Progress reports one finished cell.
+type Progress struct {
+	Done, Total int
+	Cell        CellResult
+}
+
+// CellResult is one (scenario, protocol, seed) run's headline numbers.
+type CellResult struct {
+	Scenario     string  `json:"scenario"`
+	Protocol     string  `json:"protocol"`
+	Seed         int64   `json:"seed"`
+	Generated    int     `json:"generated"`
+	Delivered    int     `json:"delivered"`
+	DeliveryPct  float64 `json:"delivery_pct"`
+	AvgDelayMs   float64 `json:"avg_delay_ms"`
+	P99DelayMs   float64 `json:"p99_delay_ms"`
+	OverheadKbps float64 `json:"overhead_kbps"`
+	GoodputKbps  float64 `json:"goodput_kbps"`
+	AvgHops      float64 `json:"avg_hops"`
+}
+
+// Stat is one metric's cross-trial distribution snapshot.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+}
+
+// Aggregate folds one (scenario, protocol) cell group across its trials.
+type Aggregate struct {
+	Scenario     string `json:"scenario"`
+	Protocol     string `json:"protocol"`
+	Trials       int    `json:"trials"`
+	DeliveryPct  Stat   `json:"delivery_pct"`
+	AvgDelayMs   Stat   `json:"avg_delay_ms"`
+	OverheadKbps Stat   `json:"overhead_kbps"`
+	GoodputKbps  Stat   `json:"goodput_kbps"`
+}
+
+// Result is the whole batch's output, in deterministic grid order.
+type Result struct {
+	BaseSeed   int64        `json:"base_seed"`
+	Trials     int          `json:"trials"`
+	Cells      []CellResult `json:"cells"`
+	Aggregates []Aggregate  `json:"aggregates"`
+}
+
+// cell is one expanded grid point.
+type cell struct {
+	spec     scenario.Spec
+	cfg      world.Config
+	protocol experiment.Protocol
+	seed     int64
+}
+
+// Run expands and executes the grid. It fails fast — before running
+// anything — if any scenario does not compile.
+func Run(cfg Config) (Result, error) {
+	if len(cfg.Scenarios) == 0 {
+		return Result{}, fmt.Errorf("batch: no scenarios")
+	}
+	protocols := cfg.Protocols
+	if len(protocols) == 0 {
+		protocols = experiment.AllProtocols()
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 3
+	}
+	baseSeed := cfg.BaseSeed
+	if baseSeed == 0 && !cfg.SeedZero {
+		baseSeed = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Compile every scenario once, then expand scenario-major so exported
+	// rows group naturally.
+	var cells []cell
+	for _, spec := range cfg.Scenarios {
+		wcfg, err := spec.Compile()
+		if err != nil {
+			return Result{}, err
+		}
+		for _, p := range protocols {
+			for t := 0; t < trials; t++ {
+				c := cell{spec: spec, cfg: wcfg, protocol: p, seed: baseSeed + int64(t)}
+				cells = append(cells, c)
+			}
+		}
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	results := make([]CellResult, len(cells))
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		progress sync.Mutex
+		done     int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runCell(cells[i])
+				if cfg.OnProgress != nil {
+					progress.Lock()
+					done++
+					cfg.OnProgress(Progress{Done: done, Total: len(cells), Cell: results[i]})
+					progress.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	return Result{
+		BaseSeed:   baseSeed,
+		Trials:     trials,
+		Cells:      results,
+		Aggregates: aggregate(results, len(cfg.Scenarios), len(protocols), trials),
+	}, nil
+}
+
+// runCell executes one fully deterministic simulation.
+func runCell(c cell) CellResult {
+	wcfg := c.cfg // each cell mutates its own copy
+	wcfg.Seed = c.seed
+	s := world.New(wcfg, experiment.Factory(c.protocol, c.spec.Traffic.Rate)).Run()
+	return CellResult{
+		Scenario:     c.spec.Name,
+		Protocol:     c.protocol.String(),
+		Seed:         c.seed,
+		Generated:    s.Generated,
+		Delivered:    s.Delivered,
+		DeliveryPct:  s.DeliveryRatio * 100,
+		AvgDelayMs:   float64(s.AvgDelay) / float64(time.Millisecond),
+		P99DelayMs:   float64(s.Delay.P99) / float64(time.Millisecond),
+		OverheadKbps: s.OverheadBps / 1000,
+		GoodputKbps:  s.GoodputBps / 1000,
+		AvgHops:      s.AvgHops,
+	}
+}
+
+// aggregate folds the grid-ordered cell rows into per-(scenario,
+// protocol) statistics.
+func aggregate(cells []CellResult, nScenarios, nProtocols, trials int) []Aggregate {
+	out := make([]Aggregate, 0, nScenarios*nProtocols)
+	for g := 0; g+trials <= len(cells); g += trials {
+		group := cells[g : g+trials]
+		a := Aggregate{
+			Scenario: group[0].Scenario,
+			Protocol: group[0].Protocol,
+			Trials:   trials,
+		}
+		a.DeliveryPct = stat(group, func(c CellResult) float64 { return c.DeliveryPct })
+		a.AvgDelayMs = stat(group, func(c CellResult) float64 { return c.AvgDelayMs })
+		a.OverheadKbps = stat(group, func(c CellResult) float64 { return c.OverheadKbps })
+		a.GoodputKbps = stat(group, func(c CellResult) float64 { return c.GoodputKbps })
+		out = append(out, a)
+	}
+	return out
+}
+
+// stat projects one metric out of the group and snapshots its
+// distribution via the metrics package's estimators.
+func stat(group []CellResult, get func(CellResult) float64) Stat {
+	xs := make([]float64, len(group))
+	for i, c := range group {
+		xs[i] = get(c)
+	}
+	return Stat{
+		Mean: metrics.Mean(xs),
+		P50:  metrics.Quantile(xs, 0.50),
+		P95:  metrics.Quantile(xs, 0.95),
+	}
+}

@@ -1,0 +1,62 @@
+package batch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteJSON streams the result as indented JSON. Cell and aggregate rows
+// are in grid order and contain no maps, so equal batches serialize to
+// identical bytes.
+func (r Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV streams the aggregate rows as comma-separated values.
+func (r Result) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"scenario,protocol,trials,"+
+			"delivery_pct_mean,delivery_pct_p50,delivery_pct_p95,"+
+			"avg_delay_ms_mean,avg_delay_ms_p50,avg_delay_ms_p95,"+
+			"overhead_kbps_mean,overhead_kbps_p50,overhead_kbps_p95,"+
+			"goodput_kbps_mean,goodput_kbps_p50,goodput_kbps_p95\n"); err != nil {
+		return err
+	}
+	for _, a := range r.Aggregates {
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			a.Scenario, a.Protocol, a.Trials,
+			a.DeliveryPct.Mean, a.DeliveryPct.P50, a.DeliveryPct.P95,
+			a.AvgDelayMs.Mean, a.AvgDelayMs.P50, a.AvgDelayMs.P95,
+			a.OverheadKbps.Mean, a.OverheadKbps.P50, a.OverheadKbps.P95,
+			a.GoodputKbps.Mean, a.GoodputKbps.P50, a.GoodputKbps.P95)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders the aggregates as a human-readable comparison table, one
+// row per (scenario, protocol).
+func (r Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s%-11s%12s%14s%16s%15s\n",
+		"scenario", "protocol", "delivery %", "delay (ms)", "overhead kbps", "goodput kbps")
+	prev := ""
+	for _, a := range r.Aggregates {
+		name := a.Scenario
+		if name == prev {
+			name = ""
+		} else {
+			prev = name
+		}
+		fmt.Fprintf(&b, "%-16s%-11s%12.1f%14.1f%16.1f%15.1f\n",
+			name, a.Protocol,
+			a.DeliveryPct.Mean, a.AvgDelayMs.Mean, a.OverheadKbps.Mean, a.GoodputKbps.Mean)
+	}
+	return b.String()
+}

@@ -34,6 +34,7 @@ type Model struct {
 	cfg   Config
 	pos   []Positioner
 	links []*Link // upper-triangular pair index
+	down  func(i int, at time.Duration) bool
 }
 
 // NewModel builds the channel for n terminals whose positions are given by
@@ -57,6 +58,22 @@ func NewModel(cfg Config, streams *sim.Streams, pos []Positioner) *Model {
 
 // N reports the number of terminals.
 func (m *Model) N() int { return len(m.pos) }
+
+// SetOutage installs a radio-outage oracle: while fn reports terminal i
+// down, every link touching i behaves exactly as if the pair were out of
+// range — no class, no reception, invisible to neighbourhood scans. The
+// world layer uses this to run scripted node-failure/heal schedules.
+func (m *Model) SetOutage(fn func(i int, at time.Duration) bool) { m.down = fn }
+
+// Down reports whether terminal i's radio is silenced at time at.
+func (m *Model) Down(i int, at time.Duration) bool {
+	return m.down != nil && m.down(i, at)
+}
+
+// pairDown reports whether either endpoint of the pair is silenced.
+func (m *Model) pairDown(i, j int, at time.Duration) bool {
+	return m.down != nil && (m.down(i, at) || m.down(j, at))
+}
 
 // Config returns the model's configuration (a copy).
 func (m *Model) Config() Config { return m.cfg }
@@ -95,7 +112,13 @@ func (m *Model) relSpeed(i, j int, at time.Duration) float64 {
 // Class reports the channel class between i and j at time at. The link is
 // symmetric: Class(i, j) == Class(j, i) by construction.
 func (m *Model) Class(i, j int, at time.Duration) Class {
-	return m.links[m.pairIndex(i, j)].ClassAt(m.Distance(i, j, at), m.relSpeed(i, j, at), at)
+	d := m.Distance(i, j, at)
+	if m.pairDown(i, j, at) {
+		// Radio-silent endpoint: feed the link an out-of-range distance so
+		// its fading process still advances in step with real time.
+		d = m.cfg.Range + 1
+	}
+	return m.links[m.pairIndex(i, j)].ClassAt(d, m.relSpeed(i, j, at), at)
 }
 
 // SNR reports the instantaneous link SNR in dB (ignoring the range
@@ -104,18 +127,22 @@ func (m *Model) SNR(i, j int, at time.Duration) float64 {
 	return m.links[m.pairIndex(i, j)].SNR(m.Distance(i, j, at), m.relSpeed(i, j, at), at)
 }
 
-// InRange reports whether i and j are within radio reception range.
+// InRange reports whether i and j are within radio reception range (and
+// neither radio is silenced by an outage).
 func (m *Model) InRange(i, j int, at time.Duration) bool {
-	return m.Distance(i, j, at) <= m.cfg.Range
+	return !m.pairDown(i, j, at) && m.Distance(i, j, at) <= m.cfg.Range
 }
 
 // Neighbors appends to dst the ids of terminals within radio range of i,
 // and returns the extended slice. Pass a reusable buffer to avoid
 // allocation in flood hot paths.
 func (m *Model) Neighbors(i int, at time.Duration, dst []int) []int {
+	if m.Down(i, at) {
+		return dst
+	}
 	pi := m.pos[i].Position(at)
 	for j := range m.pos {
-		if j == i {
+		if j == i || m.Down(j, at) {
 			continue
 		}
 		if pi.DistanceTo(m.pos[j].Position(at)) <= m.cfg.Range {

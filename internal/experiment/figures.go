@@ -15,6 +15,8 @@ type Options struct {
 	Trials    int
 	Duration  time.Duration
 	BaseSeed  int64
+	// Parallelism caps concurrent trials per cell; 0 means GOMAXPROCS.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +66,7 @@ func Sweep(load float64, o Options) SweepResult {
 				Duration:     o.Duration,
 				Trials:       o.Trials,
 				BaseSeed:     o.BaseSeed,
+				Parallelism:  o.Parallelism,
 			})
 		}
 		out.Cells[p] = rows
@@ -151,6 +154,7 @@ func Quality(speedKmh, load float64, o Options) QualityResult {
 			Duration:     o.Duration,
 			Trials:       o.Trials,
 			BaseSeed:     o.BaseSeed,
+			Parallelism:  o.Parallelism,
 		})
 	}
 	return out
@@ -197,6 +201,7 @@ func Series(load, speedKmh float64, o Options) SeriesResult {
 			Duration:     o.Duration,
 			Trials:       o.Trials,
 			BaseSeed:     o.BaseSeed,
+			Parallelism:  o.Parallelism,
 		})
 	}
 	return out

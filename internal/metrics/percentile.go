@@ -35,3 +35,32 @@ func percentiles(samples []time.Duration) DelayPercentiles {
 		Max: samples[len(samples)-1],
 	}
 }
+
+// Mean returns the arithmetic mean of xs (zero for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (q in [0, 1], nearest-rank on the sorted
+// order) of xs, sorting the slice in place. Zero for an empty slice. The
+// batch engine's cross-trial p50/p95 aggregates are built on it.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return xs[int(q*float64(len(xs)-1)+0.5)]
+}

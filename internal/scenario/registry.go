@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// builtins is the named scenario catalog. Every entry must validate and
+// compile (enforced by TestRegistryCompleteness); keep the set spanning
+// the axes the batch engine exists to explore — density, mobility,
+// structure, burstiness, and failure churn.
+var builtins = map[string]Spec{
+	"paper-baseline": {
+		Name:        "paper-baseline",
+		Description: "The paper's §III.A environment: 50 waypoint terminals on 1000×1000 m, 10 Poisson flows at 10 pkt/s, 500 s.",
+		Topology: Topology{
+			Kind: TopoWaypoint, N: 50, Width: 1000, Height: 1000,
+			MeanSpeedKmh: 36, Pause: Duration(3 * time.Second),
+		},
+		Traffic:  Traffic{Kind: TrafficPoisson, Flows: 10, Rate: 10},
+		Duration: Duration(500 * time.Second),
+	},
+	"dense-urban": {
+		Name:        "dense-urban",
+		Description: "60 slow terminals packed into 700×700 m: short links, heavy spatial reuse, contention-bound.",
+		Topology: Topology{
+			Kind: TopoWaypoint, N: 60, Width: 700, Height: 700,
+			MeanSpeedKmh: 12, Pause: Duration(5 * time.Second),
+		},
+		Traffic:  Traffic{Kind: TrafficPoisson, Flows: 15, Rate: 10},
+		Duration: Duration(60 * time.Second),
+	},
+	"sparse-rural": {
+		Name:        "sparse-rural",
+		Description: "30 terminals thinly spread over 2000×2000 m: long partitions, routes exist only opportunistically.",
+		Topology: Topology{
+			Kind: TopoWaypoint, N: 30, Width: 2000, Height: 2000,
+			MeanSpeedKmh: 24, Pause: Duration(3 * time.Second),
+		},
+		Traffic:  Traffic{Kind: TrafficPoisson, Flows: 6, Rate: 5},
+		Duration: Duration(120 * time.Second),
+	},
+	"grid-8x8": {
+		Name:        "grid-8x8",
+		Description: "Static 8×8 lattice at 140 m spacing carrying CBR flows: pure multi-hop forwarding, no mobility noise.",
+		Topology:    Topology{Kind: TopoGrid, Rows: 8, Cols: 8, Spacing: 140},
+		Traffic:     Traffic{Kind: TrafficCBR, Flows: 12, Rate: 8},
+		Duration:    Duration(60 * time.Second),
+	},
+	"chain-10": {
+		Name:        "chain-10",
+		Description: "A 10-terminal, 9-hop static chain with a single end-to-end flow: the canonical relaying stress.",
+		Topology:    Topology{Kind: TopoChain, N: 10, Spacing: 200},
+		Traffic:     Traffic{Kind: TrafficPoisson, Rate: 8, Pairs: []Pair{{Src: 0, Dst: 9}}},
+		Duration:    Duration(60 * time.Second),
+	},
+	"partition-heal": {
+		Name:        "partition-heal",
+		Description: "A 7-terminal chain whose middle relay is dead for the first 40 s: cross traffic is partitioned, then the bridge heals.",
+		Topology:    Topology{Kind: TopoChain, N: 7, Spacing: 200},
+		Traffic: Traffic{
+			Kind: TrafficPoisson, Rate: 8,
+			Pairs: []Pair{{Src: 0, Dst: 6}, {Src: 1, Dst: 2}, {Src: 5, Dst: 4}},
+		},
+		Outages:  []Outage{{Node: 3, From: 0, Until: Duration(40 * time.Second)}},
+		Duration: Duration(120 * time.Second),
+	},
+	"hotspot-burst": {
+		Name:        "hotspot-burst",
+		Description: "Three static hotspot clusters with phase-locked on-off bursts: synchronized surges hammer the inter-cluster bridges.",
+		Topology: Topology{
+			Kind: TopoClusters,
+			Clusters: []Cluster{
+				{X: 300, Y: 300, Radius: 150, Count: 12},
+				{X: 700, Y: 300, Radius: 150, Count: 12},
+				{X: 500, Y: 650, Radius: 150, Count: 12},
+			},
+		},
+		Traffic: Traffic{
+			Kind: TrafficOnOff, Flows: 10, Rate: 25,
+			On: Duration(5 * time.Second), Off: Duration(5 * time.Second),
+		},
+		Duration: Duration(60 * time.Second),
+	},
+	"churn-heavy": {
+		Name:        "churn-heavy",
+		Description: "The paper's field at 72 km/h with a rolling outage schedule: one terminal after another blinks out for 15 s.",
+		Topology: Topology{
+			Kind: TopoWaypoint, N: 50, Width: 1000, Height: 1000,
+			MeanSpeedKmh: 72, Pause: Duration(3 * time.Second),
+		},
+		Traffic: Traffic{Kind: TrafficPoisson, Flows: 10, Rate: 10},
+		Outages: []Outage{
+			{Node: 0, From: Duration(10 * time.Second), Until: Duration(25 * time.Second)},
+			{Node: 1, From: Duration(30 * time.Second), Until: Duration(45 * time.Second)},
+			{Node: 2, From: Duration(50 * time.Second), Until: Duration(65 * time.Second)},
+			{Node: 3, From: Duration(70 * time.Second), Until: Duration(85 * time.Second)},
+			{Node: 4, From: Duration(90 * time.Second), Until: Duration(105 * time.Second)},
+		},
+		Duration: Duration(120 * time.Second),
+	},
+}
+
+// Names lists the built-in scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builtins))
+	for name := range builtins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName fetches a built-in scenario.
+func ByName(name string) (Spec, error) {
+	s, ok := builtins[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+	}
+	return s, nil
+}

@@ -1,0 +1,426 @@
+// Package scenario provides a declarative description of simulation
+// workloads. A Spec names a topology (mobile waypoint field, static grid,
+// chain, clusters, or scripted positions), a traffic pattern (Poisson,
+// CBR, or bursty on-off), an optional node failure/heal schedule, and
+// channel/buffer overrides, and compiles down to a ready-to-run
+// world.Config. Specs serialize to JSON, so scenarios can be stored,
+// shared, and mass-executed by the batch engine; a registry of named
+// built-ins covers the paper's baseline and a spread of stress cases.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"rica/internal/geom"
+	"rica/internal/traffic"
+	"rica/internal/world"
+)
+
+// Duration is a time.Duration that serializes as a human-readable string
+// ("90s", "2m"); decoding also accepts a bare number of seconds.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return fmt.Errorf("scenario: duration must be a string or seconds: %s", b)
+	}
+	*d = Duration(secs * float64(time.Second))
+	return nil
+}
+
+// TopologyKind selects how terminals are placed (and whether they move).
+type TopologyKind string
+
+// The supported topology kinds.
+const (
+	TopoWaypoint TopologyKind = "waypoint" // random-waypoint mobility in a field
+	TopoGrid     TopologyKind = "grid"     // static Rows×Cols lattice
+	TopoChain    TopologyKind = "chain"    // static line of N terminals
+	TopoClusters TopologyKind = "clusters" // static hotspot clusters
+	TopoStatic   TopologyKind = "static"   // scripted positions
+)
+
+// Topology describes terminal placement. Only the fields of the selected
+// Kind are consulted; Validate rejects kind/field mismatches that matter.
+type Topology struct {
+	Kind TopologyKind `json:"kind"`
+
+	// Waypoint fields. Pause is the waypoint dwell time, applied as
+	// written — zero (or omitted) means terminals move continuously, with
+	// no hidden fallback to the paper's 3 s.
+	N            int      `json:"n,omitempty"`
+	Width        float64  `json:"width,omitempty"`
+	Height       float64  `json:"height,omitempty"`
+	MeanSpeedKmh float64  `json:"mean_speed_kmh,omitempty"`
+	Pause        Duration `json:"pause,omitempty"`
+
+	// Grid fields (N is Rows×Cols implicitly).
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Spacing separates adjacent grid columns/rows and chain neighbours,
+	// in metres.
+	Spacing float64 `json:"spacing,omitempty"`
+
+	// Cluster fields.
+	Clusters []Cluster `json:"clusters,omitempty"`
+
+	// Static fields.
+	Positions []Point `json:"positions,omitempty"`
+}
+
+// Cluster is one static hotspot: Count terminals packed in a disc.
+type Cluster struct {
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Radius float64 `json:"radius"`
+	Count  int     `json:"count"`
+}
+
+// Point is a scripted terminal position in metres.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// NodeCount reports how many terminals the topology places.
+func (t Topology) NodeCount() int {
+	switch t.Kind {
+	case TopoWaypoint:
+		return t.N
+	case TopoGrid:
+		return t.Rows * t.Cols
+	case TopoChain:
+		return t.N
+	case TopoClusters:
+		n := 0
+		for _, c := range t.Clusters {
+			n += c.Count
+		}
+		return n
+	case TopoStatic:
+		return len(t.Positions)
+	default:
+		return 0
+	}
+}
+
+// TrafficKind selects the workload's arrival process.
+type TrafficKind string
+
+// The supported traffic kinds.
+const (
+	TrafficPoisson TrafficKind = "poisson"
+	TrafficCBR     TrafficKind = "cbr"
+	TrafficOnOff   TrafficKind = "onoff"
+)
+
+// pattern maps the kind to the traffic package's arrival process.
+func (k TrafficKind) pattern() traffic.Pattern {
+	switch k {
+	case TrafficCBR:
+		return traffic.CBR
+	case TrafficOnOff:
+		return traffic.OnOff
+	default:
+		return traffic.Poisson
+	}
+}
+
+// Pair pins one flow's endpoints.
+type Pair struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+// Traffic describes the offered load.
+type Traffic struct {
+	Kind TrafficKind `json:"kind"`
+	// Flows is the number of random disjoint source/destination pairs to
+	// draw per trial; ignored when Pairs pins the endpoints explicitly.
+	Flows int `json:"flows,omitempty"`
+	// Rate is packets/s per flow (during On windows for onoff traffic).
+	Rate float64 `json:"rate"`
+	// Pairs, when non-empty, pins every flow's endpoints.
+	Pairs []Pair `json:"pairs,omitempty"`
+	// On and Off set the burst cycle of onoff traffic.
+	On  Duration `json:"on,omitempty"`
+	Off Duration `json:"off,omitempty"`
+}
+
+// Outage schedules one node failure: the terminal's radio is silent
+// during [From, Until) and heals at Until.
+type Outage struct {
+	Node  int      `json:"node"`
+	From  Duration `json:"from"`
+	Until Duration `json:"until"`
+}
+
+// Spec is one complete declarative scenario.
+type Spec struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description,omitempty"`
+	Topology    Topology `json:"topology"`
+	Traffic     Traffic  `json:"traffic"`
+	// Outages is the node failure & heal schedule.
+	Outages []Outage `json:"outages,omitempty"`
+	// RangeM overrides the radio reception range in metres (default 250).
+	RangeM float64 `json:"range_m,omitempty"`
+	// BufferCap and BufferLifetime override the store-and-forward buffers
+	// (defaults: 10 packets, 3 s).
+	BufferCap      int      `json:"buffer_cap,omitempty"`
+	BufferLifetime Duration `json:"buffer_lifetime,omitempty"`
+	// Duration is the simulated horizon (default: the paper's 500 s).
+	Duration Duration `json:"duration,omitempty"`
+	// Seed selects the random universe of a standalone run; the batch
+	// engine overrides it per cell. Zero keeps the library default.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ParseJSON decodes a Spec from JSON, rejecting unknown fields so typos
+// in hand-written scenario files fail loudly, and validates the result.
+func ParseJSON(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// JSON encodes the spec, indented for human editing.
+func (s Spec) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Validate checks the spec for structural errors. A valid spec always
+// compiles.
+func (s Spec) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %q: "+format, append([]any{s.Name}, args...)...)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	n := s.Topology.NodeCount()
+	switch s.Topology.Kind {
+	case TopoWaypoint:
+		if s.Topology.N < 2 {
+			return fail("waypoint topology needs n ≥ 2, got %d", s.Topology.N)
+		}
+		if s.Topology.Width <= 0 || s.Topology.Height <= 0 {
+			return fail("waypoint topology needs a positive field, got %g×%g",
+				s.Topology.Width, s.Topology.Height)
+		}
+		if s.Topology.MeanSpeedKmh < 0 {
+			return fail("negative mean speed %g", s.Topology.MeanSpeedKmh)
+		}
+		if s.Topology.Pause < 0 {
+			return fail("negative pause %v", time.Duration(s.Topology.Pause))
+		}
+	case TopoGrid:
+		if s.Topology.Rows < 1 || s.Topology.Cols < 1 || n < 2 {
+			return fail("grid topology needs rows×cols ≥ 2, got %d×%d",
+				s.Topology.Rows, s.Topology.Cols)
+		}
+		if s.Topology.Spacing <= 0 {
+			return fail("grid topology needs positive spacing")
+		}
+	case TopoChain:
+		if s.Topology.N < 2 {
+			return fail("chain topology needs n ≥ 2, got %d", s.Topology.N)
+		}
+		if s.Topology.Spacing <= 0 {
+			return fail("chain topology needs positive spacing")
+		}
+	case TopoClusters:
+		if len(s.Topology.Clusters) == 0 || n < 2 {
+			return fail("clusters topology needs clusters totalling ≥ 2 terminals")
+		}
+		for i, c := range s.Topology.Clusters {
+			if c.Count < 1 || c.Radius <= 0 {
+				return fail("cluster %d needs count ≥ 1 and positive radius", i)
+			}
+		}
+	case TopoStatic:
+		if n < 2 {
+			return fail("static topology needs ≥ 2 positions, got %d", n)
+		}
+	default:
+		return fail("unknown topology kind %q", s.Topology.Kind)
+	}
+
+	switch s.Traffic.Kind {
+	case TrafficPoisson, TrafficCBR:
+	case TrafficOnOff:
+		if s.Traffic.On <= 0 || s.Traffic.Off <= 0 {
+			return fail("onoff traffic needs positive on and off windows")
+		}
+	default:
+		return fail("unknown traffic kind %q", s.Traffic.Kind)
+	}
+	if s.Traffic.Rate <= 0 {
+		return fail("traffic rate must be positive, got %g", s.Traffic.Rate)
+	}
+	if len(s.Traffic.Pairs) == 0 {
+		if s.Traffic.Flows < 1 {
+			return fail("traffic needs flows ≥ 1 or explicit pairs")
+		}
+		if 2*s.Traffic.Flows > n {
+			return fail("%d disjoint flows need %d terminals, topology has %d",
+				s.Traffic.Flows, 2*s.Traffic.Flows, n)
+		}
+	}
+	for i, p := range s.Traffic.Pairs {
+		if p.Src < 0 || p.Src >= n || p.Dst < 0 || p.Dst >= n || p.Src == p.Dst {
+			return fail("pair %d (%d→%d) out of range for %d terminals", i, p.Src, p.Dst, n)
+		}
+	}
+	for i, o := range s.Outages {
+		if o.Node < 0 || o.Node >= n {
+			return fail("outage %d names terminal %d of %d", i, o.Node, n)
+		}
+		if o.Until <= o.From {
+			return fail("outage %d window [%v, %v) is empty", i,
+				time.Duration(o.From), time.Duration(o.Until))
+		}
+	}
+	if s.RangeM < 0 || s.BufferCap < 0 || s.Duration < 0 {
+		return fail("negative override")
+	}
+	return nil
+}
+
+// Compile validates the spec and lowers it to a runnable world
+// configuration. Compilation is pure: equal specs compile to equal
+// configs, and all randomness stays behind the config's seed.
+func (s Spec) Compile() (world.Config, error) {
+	if err := s.Validate(); err != nil {
+		return world.Config{}, err
+	}
+	cfg := world.DefaultConfig(s.Topology.MeanSpeedKmh, s.Traffic.Rate)
+
+	switch s.Topology.Kind {
+	case TopoWaypoint:
+		cfg.N = s.Topology.N
+		cfg.Field = geom.Field{Width: s.Topology.Width, Height: s.Topology.Height}
+		cfg.Pause = time.Duration(s.Topology.Pause)
+	default:
+		cfg.StaticPositions = s.Topology.placements()
+		cfg.MaxSpeed = 0
+	}
+
+	if len(s.Traffic.Pairs) > 0 {
+		flows := make([]traffic.Flow, len(s.Traffic.Pairs))
+		for i, p := range s.Traffic.Pairs {
+			flows[i] = traffic.Flow{
+				Src: p.Src, Dst: p.Dst, Rate: s.Traffic.Rate,
+				Pattern: s.Traffic.Kind.pattern(),
+				On:      time.Duration(s.Traffic.On),
+				Off:     time.Duration(s.Traffic.Off),
+			}
+		}
+		cfg.Flows = flows
+	} else {
+		cfg.NumFlows = s.Traffic.Flows
+		cfg.FlowPattern = s.Traffic.Kind.pattern()
+		cfg.FlowOn = time.Duration(s.Traffic.On)
+		cfg.FlowOff = time.Duration(s.Traffic.Off)
+	}
+
+	if len(s.Outages) > 0 {
+		cfg.Outages = make([]world.Outage, len(s.Outages))
+		for i, o := range s.Outages {
+			cfg.Outages[i] = world.Outage{
+				Node: o.Node, From: time.Duration(o.From), Until: time.Duration(o.Until),
+			}
+		}
+	}
+
+	if s.RangeM > 0 {
+		cfg.Channel.Range = s.RangeM
+	}
+	if s.BufferCap > 0 {
+		cfg.Node.BufferCap = s.BufferCap
+	}
+	if s.BufferLifetime > 0 {
+		cfg.Node.BufferLifetime = time.Duration(s.BufferLifetime)
+	}
+	if s.Duration > 0 {
+		cfg.Duration = time.Duration(s.Duration)
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	return cfg, nil
+}
+
+// placements realizes a static topology's terminal positions. Placement
+// is fully deterministic (cluster packing uses a golden-angle sunflower
+// spiral, not a random draw), so compilation never consumes randomness.
+func (t Topology) placements() []geom.Point {
+	switch t.Kind {
+	case TopoGrid:
+		out := make([]geom.Point, 0, t.Rows*t.Cols)
+		for r := 0; r < t.Rows; r++ {
+			for c := 0; c < t.Cols; c++ {
+				out = append(out, geom.Point{
+					X: float64(c) * t.Spacing,
+					Y: float64(r) * t.Spacing,
+				})
+			}
+		}
+		return out
+	case TopoChain:
+		out := make([]geom.Point, t.N)
+		for i := range out {
+			out[i] = geom.Point{X: float64(i) * t.Spacing}
+		}
+		return out
+	case TopoClusters:
+		var out []geom.Point
+		const golden = 2.399963229728653 // radians
+		for _, cl := range t.Clusters {
+			for k := 0; k < cl.Count; k++ {
+				r := cl.Radius * math.Sqrt((float64(k)+0.5)/float64(cl.Count))
+				th := float64(k) * golden
+				out = append(out, geom.Point{
+					X: cl.X + r*math.Cos(th),
+					Y: cl.Y + r*math.Sin(th),
+				})
+			}
+		}
+		return out
+	case TopoStatic:
+		out := make([]geom.Point, len(t.Positions))
+		for i, p := range t.Positions {
+			out[i] = geom.Point{X: p.X, Y: p.Y}
+		}
+		return out
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,55 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestOnOffArrivalsStayInWindows: every arrival an on-off flow schedules
+// lands inside an on window, wherever the previous arrival left the
+// clock — including mid-off, where a zero-truncated exponential draw
+// once mapped into the past.
+func TestOnOffArrivalsStayInWindows(t *testing.T) {
+	const (
+		on    = 5 * time.Second
+		off   = 5 * time.Second
+		cycle = on + off
+	)
+	f := Flow{Src: 0, Dst: 1, Rate: 1000, Pattern: OnOff, On: on, Off: off}
+	rng := rand.New(rand.NewSource(42))
+	// Walk arrival-to-arrival for a while, probing from both window kinds.
+	now := time.Duration(0)
+	for i := 0; i < 5000; i++ {
+		gap := f.nextGap(now, rng)
+		if gap <= 0 {
+			t.Fatalf("arrival %d: non-positive gap %v at now=%v", i, gap, now)
+		}
+		now += gap
+		if phase := now % cycle; phase > on {
+			t.Fatalf("arrival %d at %v lands in an off window (phase %v)", i, now, phase)
+		}
+	}
+	// Probe explicitly from deep inside an off window.
+	for probe := on + time.Millisecond; probe < cycle; probe += time.Second {
+		gap := f.nextGap(probe, rng)
+		if gap <= 0 {
+			t.Fatalf("probe at %v: non-positive gap %v", probe, gap)
+		}
+		if phase := (probe + gap) % cycle; phase > on {
+			t.Fatalf("probe at %v schedules into an off window (phase %v)", probe, phase)
+		}
+	}
+}
+
+// TestCBRIsConstant: CBR arrivals are exactly 1/Rate apart and draw no
+// randomness.
+func TestCBRIsConstant(t *testing.T) {
+	f := Flow{Src: 0, Dst: 1, Rate: 10, Pattern: CBR}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5; i++ {
+		if gap := f.nextGap(time.Duration(i)*time.Second, rng); gap != 100*time.Millisecond {
+			t.Fatalf("CBR gap = %v, want 100ms", gap)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package traffic
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -13,11 +14,47 @@ import (
 	"rica/internal/sim"
 )
 
-// Flow is one unidirectional Poisson stream of data packets.
+// Pattern selects a flow's packet arrival process.
+type Pattern int
+
+// The supported arrival processes.
+const (
+	// Poisson draws exponential inter-arrival times at Rate (the paper's
+	// workload and the zero value).
+	Poisson Pattern = iota
+	// CBR emits packets at a constant 1/Rate interval.
+	CBR
+	// OnOff is a bursty source: Poisson arrivals at Rate during fixed On
+	// windows, silence during the Off windows between them. The on/off
+	// cycle is phase-locked to t = 0 so all bursty flows surge together —
+	// the worst case for buffer contention.
+	OnOff
+)
+
+// String names the pattern for tables and JSON.
+func (p Pattern) String() string {
+	switch p {
+	case Poisson:
+		return "poisson"
+	case CBR:
+		return "cbr"
+	case OnOff:
+		return "onoff"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Flow is one unidirectional stream of data packets.
 type Flow struct {
 	Src, Dst int
-	// Rate is the mean packet generation rate in packets per second.
+	// Rate is the mean packet generation rate in packets per second
+	// (during On windows for OnOff flows).
 	Rate float64
+	// Pattern is the arrival process; the zero value is Poisson.
+	Pattern Pattern
+	// On and Off set the OnOff burst cycle; ignored by other patterns.
+	On, Off time.Duration
 }
 
 // ChoosePairs draws count flows with all endpoints distinct, uniformly at
@@ -64,7 +101,7 @@ func (g *Generator) Start(flows []Flow, streams *sim.Streams, stop time.Duration
 
 // scheduleNext arms the next arrival for flow f.
 func (g *Generator) scheduleNext(f Flow, rng *rand.Rand, stop time.Duration) {
-	gap := time.Duration(rng.ExpFloat64() / f.Rate * float64(time.Second))
+	gap := f.nextGap(g.kernel.Now(), rng)
 	g.kernel.Schedule(gap, func(now time.Duration) {
 		if now >= stop {
 			return
@@ -81,4 +118,53 @@ func (g *Generator) scheduleNext(f Flow, rng *rand.Rand, stop time.Duration) {
 		g.nodes[f.Src].OriginateData(pkt, now)
 		g.scheduleNext(f, rng, stop)
 	})
+}
+
+// nextGap draws the delay from now until the flow's next arrival.
+func (f Flow) nextGap(now time.Duration, rng *rand.Rand) time.Duration {
+	switch f.Pattern {
+	case CBR:
+		return time.Duration(float64(time.Second) / f.Rate)
+	case OnOff:
+		if f.On <= 0 || f.Off <= 0 {
+			break // degenerate cycle: behave as plain Poisson
+		}
+		gap := time.Duration(rng.ExpFloat64() / f.Rate * float64(time.Second))
+		if gap <= 0 {
+			// A draw that truncates to zero must still land strictly inside
+			// an on window: from mid-off, a zero active-time gap would map
+			// to the end of the *previous* window, i.e. the past.
+			gap = 1
+		}
+		target := activeTime(now, f.On, f.Off) + gap
+		return wallTime(target, f.On, f.Off) - now
+	}
+	return time.Duration(rng.ExpFloat64() / f.Rate * float64(time.Second))
+}
+
+// activeTime maps wall-clock time t onto the flow's cumulative on-air
+// time under the phase-locked on/off cycle.
+func activeTime(t, on, off time.Duration) time.Duration {
+	cycle := on + off
+	full := t / cycle
+	rem := t % cycle
+	if rem > on {
+		rem = on
+	}
+	return time.Duration(int64(full)*int64(on)) + rem
+}
+
+// wallTime inverts activeTime: the wall-clock instant at which cumulative
+// on-air time a is reached.
+func wallTime(a, on, off time.Duration) time.Duration {
+	cycle := on + off
+	full := a / on
+	rem := a % on
+	if rem == 0 && full > 0 {
+		// A landing exactly on a window boundary belongs to the end of the
+		// previous on window, not the start of the next.
+		full--
+		rem = on
+	}
+	return time.Duration(int64(full)*int64(cycle)) + rem
 }

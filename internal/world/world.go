@@ -48,10 +48,18 @@ type Config struct {
 	// Node holds the buffer discipline (cap 10, lifetime 3 s).
 	Node network.NodeConfig
 	// Flows is the workload; when nil, NumFlows disjoint random pairs at
-	// FlowRate packets/s are drawn per trial.
-	Flows    []traffic.Flow
-	NumFlows int
-	FlowRate float64
+	// FlowRate packets/s are drawn per trial, each using FlowPattern (with
+	// the FlowOn/FlowOff burst cycle for on-off sources).
+	Flows       []traffic.Flow
+	NumFlows    int
+	FlowRate    float64
+	FlowPattern traffic.Pattern
+	FlowOn      time.Duration
+	FlowOff     time.Duration
+	// Outages silence terminal radios over scripted windows: while down, a
+	// terminal neither sends nor receives on either MAC plane, and heals
+	// back into the network when its window ends.
+	Outages []Outage
 	// Duration is the simulated time (paper: 500 s).
 	Duration time.Duration
 	// Seed selects the trial's random universe; every stochastic component
@@ -83,6 +91,13 @@ func DefaultConfig(meanSpeedKmh, pktPerSec float64) Config {
 		Duration: 500 * time.Second,
 		Seed:     1,
 	}
+}
+
+// Outage is one scripted radio failure: terminal Node is down (radio
+// silent on both MAC planes) during [From, Until), healing at Until.
+type Outage struct {
+	Node        int
+	From, Until time.Duration
 }
 
 // AgentFactory builds terminal id's routing agent around its Env. The
@@ -131,6 +146,25 @@ func New(cfg Config, factory AgentFactory) *World {
 	}
 
 	model := channel.NewModel(cfg.Channel, streams, pos)
+	if len(cfg.Outages) > 0 {
+		// Per-terminal windows so the hot-path oracle scans only the few
+		// outages that concern the queried terminal.
+		windows := make([][]Outage, cfg.N)
+		for _, o := range cfg.Outages {
+			if o.Node < 0 || o.Node >= cfg.N {
+				panic("world: outage for unknown terminal")
+			}
+			windows[o.Node] = append(windows[o.Node], o)
+		}
+		model.SetOutage(func(i int, at time.Duration) bool {
+			for _, o := range windows[i] {
+				if at >= o.From && at < o.Until {
+					return true
+				}
+			}
+			return false
+		})
+	}
 	common := mac.NewCommonChannel(kernel, model, streams.Stream(streamKindMAC))
 	data := mac.NewDataPlane(kernel, model)
 	collector := metrics.NewCollector(cfg.Duration)
@@ -181,6 +215,11 @@ func New(cfg Config, factory AgentFactory) *World {
 	if w.Flows == nil {
 		w.Flows = traffic.ChoosePairs(cfg.N, cfg.NumFlows, cfg.FlowRate,
 			streams.Stream(streamKindPairs))
+		for i := range w.Flows {
+			w.Flows[i].Pattern = cfg.FlowPattern
+			w.Flows[i].On = cfg.FlowOn
+			w.Flows[i].Off = cfg.FlowOff
+		}
 	}
 	return w
 }

@@ -28,10 +28,13 @@
 package rica
 
 import (
+	"os"
 	"time"
 
+	"rica/internal/batch"
 	"rica/internal/experiment"
 	"rica/internal/metrics"
+	"rica/internal/scenario"
 	"rica/internal/trace"
 	"rica/internal/traffic"
 	"rica/internal/world"
@@ -73,8 +76,13 @@ type SimConfig struct {
 	// Duration is the simulated horizon. Zero means the paper's 500 s.
 	Duration time.Duration
 	// Seed selects the random universe; equal seeds reproduce bit-equal
-	// runs.
+	// runs. The zero value is a sentinel meaning "the library default"
+	// (seed 1), so an omitted Seed stays reproducible; to run the actual
+	// seed 0, set SeedZero.
 	Seed int64
+	// SeedZero forces the run onto seed 0, which the Seed field's zero
+	// sentinel cannot express on its own. Ignored when Seed is nonzero.
+	SeedZero bool
 	// Flows optionally pins the workload; nil draws 10 disjoint random
 	// pairs (the paper's setup).
 	Flows []Flow
@@ -115,7 +123,7 @@ func simulate(cfg SimConfig, rec *trace.Recorder) (Summary, *trace.Recorder) {
 	if cfg.Duration > 0 {
 		wcfg.Duration = cfg.Duration
 	}
-	if cfg.Seed != 0 {
+	if cfg.Seed != 0 || cfg.SeedZero {
 		wcfg.Seed = cfg.Seed
 	}
 	if cfg.Flows != nil {
@@ -179,3 +187,49 @@ func Series(load, speedKmh float64, o Options) SeriesResult {
 // Figure6SpeedKmh is the mobility used for Figure 6 (the paper does not
 // state one; low-to-moderate mobility matches its curves).
 const Figure6SpeedKmh = 18.0
+
+// Scenario is a declarative simulation description: topology, traffic
+// pattern, node failure schedule, channel/buffer overrides, and horizon.
+// Scenarios serialize to JSON and compile to full simulation configs; see
+// ScenarioNames for the built-in catalog.
+type Scenario = scenario.Spec
+
+// ScenarioDuration is the JSON-friendly duration type scenario specs use
+// ("90s" strings on the wire; convert with time.Duration casts in code).
+type ScenarioDuration = scenario.Duration
+
+// ScenarioNames lists the built-in scenario catalog, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName fetches a built-in scenario ("paper-baseline",
+// "dense-urban", ...).
+func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
+
+// ParseScenario decodes and validates a JSON scenario spec.
+func ParseScenario(data []byte) (Scenario, error) { return scenario.ParseJSON(data) }
+
+// LoadScenario reads a scenario spec from a JSON file.
+func LoadScenario(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return scenario.ParseJSON(data)
+}
+
+// Batch types: BatchConfig spans a scenario × protocol × seed grid,
+// BatchResult carries per-cell rows plus mean/p50/p95 aggregates (with
+// JSON/CSV export), and BatchProgress streams per-cell completions.
+type (
+	BatchConfig    = batch.Config
+	BatchResult    = batch.Result
+	BatchCell      = batch.CellResult
+	BatchAggregate = batch.Aggregate
+	BatchProgress  = batch.Progress
+)
+
+// RunBatch expands the grid and executes it across a worker pool sized by
+// BatchConfig.Workers (default: GOMAXPROCS). Cells run deterministic
+// seeds and results are assembled in grid order, so the same scenarios
+// and base seed produce bit-identical exports regardless of parallelism.
+func RunBatch(cfg BatchConfig) (BatchResult, error) { return batch.Run(cfg) }
