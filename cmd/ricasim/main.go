@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -41,8 +43,49 @@ func main() {
 		scenarios   = flag.String("scenario", "", "run a batch over comma-separated scenario names and/or JSON spec files")
 		list        = flag.Bool("list-scenarios", false, "print the built-in scenario catalog and exit")
 		out         = flag.String("out", "", "write batch results to this file (.json or .csv; default stdout)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		exitHooks = append(exitHooks, func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				profileErrf("-cpuprofile: %v", err)
+			}
+		})
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		exitHooks = append(exitHooks, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				profileErrf("-memprofile: %v", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				profileErrf("-memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				profileErrf("-memprofile: %v", err)
+			}
+		})
+	}
+	defer func() {
+		runExitHooks()
+		if profileFailed {
+			os.Exit(1)
+		}
+	}()
 
 	if *list {
 		listScenarios()
@@ -323,7 +366,31 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
+// exitHooks finish in-flight profiling. They run (last added first) both
+// on normal return and before fatalf's os.Exit, so an error anywhere in
+// a profiled run still leaves valid, closed profile files behind.
+var exitHooks []func()
+
+// profileFailed records a profile-write error observed by an exit hook;
+// main converts it into exit status 1 after all hooks have run (hooks
+// must not call fatalf — it would re-enter them).
+var profileFailed bool
+
+func profileErrf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ricasim: "+format+"\n", args...)
+	profileFailed = true
+}
+
+func runExitHooks() {
+	hooks := exitHooks
+	exitHooks = nil
+	for i := len(hooks) - 1; i >= 0; i-- {
+		hooks[i]()
+	}
+}
+
 func fatalf(format string, args ...any) {
+	runExitHooks()
 	fmt.Fprintf(os.Stderr, "ricasim: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -30,11 +30,18 @@ const streamKindChannel = 0x_C4A1
 // every layer above asks — "what class is the link between i and j right
 // now?" — and provides neighbourhood scans for floods and topology
 // installation.
+//
+// Queries route through a per-instant snapshot (see snapshot.go): the
+// positions, speeds, and outage states behind them are derived once per
+// virtual instant, and Neighbors answers from a spatial grid rather than
+// a full scan. The per-pair fading streams are untouched by the caching,
+// so results are bit-identical to the uncached scans.
 type Model struct {
 	cfg   Config
 	pos   []Positioner
 	links []*Link // upper-triangular pair index
 	down  func(i int, at time.Duration) bool
+	snap  *snapshot
 }
 
 // NewModel builds the channel for n terminals whose positions are given by
@@ -46,6 +53,7 @@ func NewModel(cfg Config, streams *sim.Streams, pos []Positioner) *Model {
 		cfg:   cfg,
 		pos:   pos,
 		links: make([]*Link, n*(n-1)/2),
+		snap:  newSnapshot(n, cfg.Range),
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
@@ -67,12 +75,12 @@ func (m *Model) SetOutage(fn func(i int, at time.Duration) bool) { m.down = fn }
 
 // Down reports whether terminal i's radio is silenced at time at.
 func (m *Model) Down(i int, at time.Duration) bool {
-	return m.down != nil && m.down(i, at)
+	return m.down != nil && m.downAt(m.sync(at), i, at)
 }
 
 // pairDown reports whether either endpoint of the pair is silenced.
-func (m *Model) pairDown(i, j int, at time.Duration) bool {
-	return m.down != nil && (m.down(i, at) || m.down(j, at))
+func (m *Model) pairDown(s *snapshot, i, j int, at time.Duration) bool {
+	return m.down != nil && (m.downAt(s, i, at) || m.downAt(s, j, at))
 }
 
 // Config returns the model's configuration (a copy).
@@ -93,56 +101,141 @@ func (m *Model) pairIndex(i, j int) int {
 
 // Distance reports the current distance between terminals i and j.
 func (m *Model) Distance(i, j int, at time.Duration) float64 {
-	return m.pos[i].Position(at).DistanceTo(m.pos[j].Position(at))
+	s := m.sync(at)
+	return m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at))
 }
 
 // relSpeed bounds the pair's relative speed by the sum of the terminals'
 // own speeds (exact relative velocity is not worth the extra queries).
-func (m *Model) relSpeed(i, j int, at time.Duration) float64 {
-	v := 0.0
-	if s, ok := m.pos[i].(Speeder); ok {
-		v += s.Speed(at)
-	}
-	if s, ok := m.pos[j].(Speeder); ok {
-		v += s.Speed(at)
-	}
-	return v
+func (m *Model) relSpeed(s *snapshot, i, j int, at time.Duration) float64 {
+	return m.speedAt(s, i, at) + m.speedAt(s, j, at)
 }
 
 // Class reports the channel class between i and j at time at. The link is
 // symmetric: Class(i, j) == Class(j, i) by construction.
 func (m *Model) Class(i, j int, at time.Duration) Class {
-	d := m.Distance(i, j, at)
-	if m.pairDown(i, j, at) {
+	s := m.sync(at)
+	d := m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at))
+	if m.pairDown(s, i, j, at) {
 		// Radio-silent endpoint: feed the link an out-of-range distance so
 		// its fading process still advances in step with real time.
 		d = m.cfg.Range + 1
 	}
-	return m.links[m.pairIndex(i, j)].ClassAt(d, m.relSpeed(i, j, at), at)
+	return m.links[m.pairIndex(i, j)].ClassAt(d, m.relSpeed(s, i, j, at), at)
 }
 
 // SNR reports the instantaneous link SNR in dB (ignoring the range
 // cutoff); exported for diagnostics and tests.
 func (m *Model) SNR(i, j int, at time.Duration) float64 {
-	return m.links[m.pairIndex(i, j)].SNR(m.Distance(i, j, at), m.relSpeed(i, j, at), at)
+	s := m.sync(at)
+	d := m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at))
+	return m.links[m.pairIndex(i, j)].SNR(d, m.relSpeed(s, i, j, at), at)
 }
 
 // InRange reports whether i and j are within radio reception range (and
 // neither radio is silenced by an outage).
 func (m *Model) InRange(i, j int, at time.Duration) bool {
-	return !m.pairDown(i, j, at) && m.Distance(i, j, at) <= m.cfg.Range
+	s := m.sync(at)
+	if m.pairDown(s, i, j, at) {
+		return false
+	}
+	return m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at)) <= m.cfg.Range
 }
 
-// Neighbors appends to dst the ids of terminals within radio range of i,
-// and returns the extended slice. Pass a reusable buffer to avoid
-// allocation in flood hot paths.
+// interferenceEps absorbs float rounding in the triangle-inequality
+// argument behind Interferes: exclusion is only claimed with a metre-µ
+// margin, so a correctly-rounded distance can never flip a verdict that
+// matters.
+const interferenceEps = 1e-6
+
+// Interferes reports whether a transmission by i can reach any terminal
+// that hears j: by the triangle inequality, everything in range of j is
+// within 2·Range of j, so i beyond that (plus a float-safety margin)
+// cannot touch any of j's receivers. Outage state is deliberately not
+// consulted — this is a conservative spatial filter, and the exact
+// per-receiver InRange check keeps the final say.
+func (m *Model) Interferes(i, j int, at time.Duration) bool {
+	if i == j {
+		return true
+	}
+	s := m.sync(at)
+	d := m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at))
+	return d <= 2*m.cfg.Range+interferenceEps
+}
+
+// Neighbors appends to dst the ids of terminals within radio range of i
+// in ascending id order, and returns the extended slice. Pass a reusable
+// buffer to avoid allocation in flood hot paths. The scan is an
+// O(density) bucket query against the snapshot's spatial grid, not a full
+// sweep of the terminal set.
 func (m *Model) Neighbors(i int, at time.Duration, dst []int) []int {
-	if m.Down(i, at) {
+	s := m.sync(at)
+	if m.downAt(s, i, at) {
+		return dst
+	}
+	g, slack := m.gridAt(s, at)
+	pi := m.positionAt(s, i, at)
+	if slack == 0 {
+		// The indexed positions are the current ones bit-for-bit, so the
+		// grid's own distance filter is exact; drop self and silenced
+		// terminals in place, preserving order.
+		from := len(dst)
+		dst = g.Near(pi, m.cfg.Range, dst)
+		w := from
+		for _, j := range dst[from:] {
+			if j == i || m.downAt(s, j, at) {
+				continue
+			}
+			dst[w] = j
+			w++
+		}
+		return dst[:w]
+	}
+
+	// Stale grid: every terminal has drifted at most slack metres since
+	// the build, so build-time distance ≤ Range−slack guarantees the pair
+	// is still in range (no position derivation needed at all) and only
+	// the annulus up to Range+slack needs an exact distance check. The
+	// safety epsilon keeps float rounding in the drift bound from ever
+	// flipping a certainty, at the price of a nanometre-wider annulus.
+	const slackEps = 1e-9
+	safe := slack + slack*slackEps + slackEps
+	cert, maybe := g.NearSplit(pi, m.cfg.Range-safe, m.cfg.Range+safe,
+		s.certBuf[:0], s.maybeBuf[:0])
+	s.certBuf, s.maybeBuf = cert, maybe // keep the grown capacity
+
+	ci, mi := 0, 0
+	for ci < len(cert) || mi < len(maybe) {
+		var j int
+		if mi >= len(maybe) || (ci < len(cert) && cert[ci] < maybe[mi]) {
+			j = cert[ci]
+			ci++
+		} else {
+			j = maybe[mi]
+			mi++
+			if pi.DistanceTo(m.positionAt(s, j, at)) > m.cfg.Range {
+				continue
+			}
+		}
+		if j == i || m.downAt(s, j, at) {
+			continue
+		}
+		dst = append(dst, j)
+	}
+	return dst
+}
+
+// bruteNeighbors is the pre-grid reference scan: every other terminal's
+// position derived straight from its Positioner and tested pairwise.
+// Property tests and benchmark baselines compare the grid path against
+// it; production code must not call it.
+func (m *Model) bruteNeighbors(i int, at time.Duration, dst []int) []int {
+	if m.down != nil && m.down(i, at) {
 		return dst
 	}
 	pi := m.pos[i].Position(at)
 	for j := range m.pos {
-		if j == i || m.Down(j, at) {
+		if j == i || (m.down != nil && m.down(j, at)) {
 			continue
 		}
 		if pi.DistanceTo(m.pos[j].Position(at)) <= m.cfg.Range {
@@ -154,5 +247,6 @@ func (m *Model) Neighbors(i int, at time.Duration, dst []int) []int {
 
 // Position exposes terminal i's current location (diagnostics, examples).
 func (m *Model) Position(i int, at time.Duration) geom.Point {
-	return m.pos[i].Position(at)
+	s := m.sync(at)
+	return m.positionAt(s, i, at)
 }

@@ -1,0 +1,195 @@
+package channel
+
+import (
+	"math"
+	"time"
+
+	"rica/internal/geom"
+)
+
+// Stabler optionally extends Positioner with an exact staleness bound:
+// the first instant after at when Position(at) may change. mobility.Node
+// implements it (next leg/pause boundary), as do pinned terminals
+// (forever). Positioners without it are treated as always in motion, so
+// their cached positions expire at every new virtual instant.
+type Stabler interface {
+	PositionStableUntil(at time.Duration) time.Duration
+}
+
+// SpeedLimiter optionally extends Positioner with a hard upper bound on
+// instantaneous speed (m/s). The bound lets the snapshot keep serving a
+// stale spatial grid exactly: a terminal can have drifted at most
+// limit·Δt from its indexed position, so widening queries by that slack
+// yields a guaranteed candidate superset. Positioners without a limit
+// (and without a forever-stable position) force a grid rebuild on every
+// new instant, which is simply the pre-grid behaviour.
+type SpeedLimiter interface {
+	SpeedLimit() float64
+}
+
+// foreverStable marks a position with no future staleness boundary.
+const foreverStable = time.Duration(math.MaxInt64)
+
+// snapshot memoizes the kinematic state of one virtual instant —
+// positions, speeds, and outage flags — plus a spatial grid over the
+// positions. Every Model query routes through it, so an event that makes
+// many queries at one kernel.Now() (a flood delivery, a carrier-sense
+// sweep, a topology install) derives each terminal's position once
+// instead of once per pair.
+//
+// Positions additionally persist *across* instants while their terminal
+// is paused: the Stabler boundary says exactly when a cached position
+// goes stale, so a static or pausing field rebuilds nothing. The fading
+// links are deliberately not part of the snapshot — their lazy private
+// streams advance exactly as they would without it, keeping runs
+// bit-identical to the pre-snapshot scan.
+type snapshot struct {
+	at  time.Duration
+	gen uint64 // 0 = no instant cached yet; bumped whenever at changes
+
+	pos      []geom.Point
+	posGen   []uint64
+	posAt    []time.Duration // instant each cached position was computed for
+	posUntil []time.Duration // exclusive staleness bound of each position
+
+	speed    []float64
+	speedGen []uint64
+
+	down    []bool
+	downGen []uint64
+
+	certBuf  []int // scratch: certain hits of a split grid query
+	maybeBuf []int // scratch: boundary candidates of a split grid query
+
+	grid      geom.Grid
+	gridBuilt bool
+	gridAt    time.Duration // instant the grid was built for
+	gridUntil time.Duration // min posUntil across members at build time
+	gridVmax  float64       // max SpeedLimit across mobile members; +Inf if unbounded
+	maxSlack  float64       // drift budget before a rebuild (a quarter cell)
+}
+
+func newSnapshot(n int, cell float64) *snapshot {
+	if cell <= 0 {
+		cell = 1 // degenerate configs (tests) still get a working index
+	}
+	return &snapshot{
+		// A quarter-cell drift budget balances rebuild rate against the
+		// widened query area: at the default 250 m range and 10 m/s
+		// MaxSpeed the grid is rebuilt every ~6 virtual seconds while disk
+		// queries grow at most ~26% in area.
+		maxSlack: cell / 4,
+		pos:      make([]geom.Point, n),
+		posGen:   make([]uint64, n),
+		posAt:    make([]time.Duration, n),
+		posUntil: make([]time.Duration, n),
+		speed:    make([]float64, n),
+		speedGen: make([]uint64, n),
+		down:     make([]bool, n),
+		downGen:  make([]uint64, n),
+		grid:     *geom.NewGrid(cell),
+	}
+}
+
+// sync points the snapshot at virtual instant at. Same-instant calls are
+// free; a new instant just bumps the generation (lazy invalidation — no
+// per-terminal work happens until something is queried).
+func (m *Model) sync(at time.Duration) *snapshot {
+	s := m.snap
+	if s.gen == 0 || s.at != at {
+		s.at = at
+		s.gen++
+	}
+	return s
+}
+
+// positionAt returns terminal i's memoized position at instant at,
+// deriving it from the Positioner only when the cache misses. A cached
+// position survives instant changes while its Stabler boundary holds.
+func (m *Model) positionAt(s *snapshot, i int, at time.Duration) geom.Point {
+	if s.posGen[i] == s.gen {
+		return s.pos[i]
+	}
+	if s.posGen[i] != 0 && s.posAt[i] <= at && at < s.posUntil[i] {
+		s.posGen[i] = s.gen // still stable: revalidate for this instant
+		return s.pos[i]
+	}
+	p := m.pos[i].Position(at)
+	until := at
+	if st, ok := m.pos[i].(Stabler); ok {
+		until = st.PositionStableUntil(at)
+	}
+	s.pos[i] = p
+	s.posGen[i] = s.gen
+	s.posAt[i] = at
+	s.posUntil[i] = until
+	return p
+}
+
+// speedAt returns terminal i's memoized instantaneous speed at at.
+func (m *Model) speedAt(s *snapshot, i int, at time.Duration) float64 {
+	if s.speedGen[i] != s.gen {
+		v := 0.0
+		if sp, ok := m.pos[i].(Speeder); ok {
+			v = sp.Speed(at)
+		}
+		s.speed[i] = v
+		s.speedGen[i] = s.gen
+	}
+	return s.speed[i]
+}
+
+// downAt returns terminal i's memoized outage flag at at.
+func (m *Model) downAt(s *snapshot, i int, at time.Duration) bool {
+	if m.down == nil {
+		return false
+	}
+	if s.downGen[i] != s.gen {
+		s.down[i] = m.down(i, at)
+		s.downGen[i] = s.gen
+	}
+	return s.down[i]
+}
+
+// gridAt returns the spatial index together with the query slack that
+// makes it exact at instant at. Slack 0 means the indexed positions are
+// the current positions bit-for-bit; a positive slack bounds how far any
+// terminal can have drifted since the build, so widening a disk query by
+// it yields a guaranteed candidate superset (callers then filter against
+// exact current positions). The index is rebuilt only when the drift
+// budget is exhausted — every maxSlack/vmax of virtual time, not every
+// event — and never in a static field.
+func (m *Model) gridAt(s *snapshot, at time.Duration) (*geom.Grid, float64) {
+	if s.gridBuilt && at >= s.gridAt {
+		if at == s.gridAt || at < s.gridUntil {
+			return &s.grid, 0
+		}
+		if !math.IsInf(s.gridVmax, 1) {
+			if slack := s.gridVmax * (at - s.gridAt).Seconds(); slack <= s.maxSlack {
+				return &s.grid, slack
+			}
+		}
+	}
+	s.gridBuilt = false
+	until := foreverStable
+	vmax := 0.0
+	for i := range m.pos {
+		m.positionAt(s, i, at)
+		if s.posUntil[i] < until {
+			until = s.posUntil[i]
+		}
+		if s.posUntil[i] != foreverStable {
+			if sl, ok := m.pos[i].(SpeedLimiter); ok {
+				vmax = math.Max(vmax, sl.SpeedLimit())
+			} else {
+				vmax = math.Inf(1) // unbounded mover: no stale service
+			}
+		}
+	}
+	s.grid.Rebuild(s.pos)
+	s.gridBuilt = true
+	s.gridAt = at
+	s.gridUntil = until
+	s.gridVmax = vmax
+	return &s.grid, 0
+}

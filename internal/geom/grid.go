@@ -1,0 +1,208 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// Grid is a uniform-cell spatial index over a point set. Points are
+// bucketed into square cells of a fixed size (the radio range, for the
+// channel layer), so a disk query touches only the few cells the disk
+// overlaps instead of the whole set.
+//
+// A Grid is rebuilt in place: Rebuild re-buckets a new point slice while
+// reusing the previous allocation, so steady-state rebuilds are
+// allocation-free. The zero value is not usable; construct with NewGrid.
+type Grid struct {
+	cell       float64
+	cols, rows int
+	minX, minY float64
+
+	// Counting-sort bucket layout: bucket k holds ids[start[k]:start[k+1]],
+	// with ids ascending within each bucket (the fill pass preserves
+	// insertion order).
+	start []int32
+	ids   []int32
+
+	pts []Point // the indexed points, by id; a private copy, see Rebuild
+}
+
+// NewGrid creates an index with the given cell size. Cell size should be
+// the query radius used most often: then every Near call scans at most a
+// 3×3 block of cells.
+func NewGrid(cell float64) *Grid {
+	if cell <= 0 || math.IsNaN(cell) || math.IsInf(cell, 0) {
+		panic("geom: NewGrid needs a positive, finite cell size")
+	}
+	return &Grid{cell: cell}
+}
+
+// Len reports how many points the grid currently indexes.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// Rebuild re-indexes the grid over pts. The points are copied into the
+// grid (reusing its buffer), so callers may keep mutating their slice;
+// queries answer against the snapshot taken here until the next Rebuild.
+func (g *Grid) Rebuild(pts []Point) {
+	g.pts = append(g.pts[:0], pts...)
+	pts = g.pts
+	if len(pts) == 0 {
+		g.cols, g.rows = 0, 0
+		g.ids = g.ids[:0]
+		return
+	}
+
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	g.minX, g.minY = minX, minY
+	g.cols = int((maxX-minX)/g.cell) + 1
+	g.rows = int((maxY-minY)/g.cell) + 1
+
+	nb := g.cols*g.rows + 1
+	if cap(g.start) < nb {
+		g.start = make([]int32, nb)
+	} else {
+		g.start = g.start[:nb]
+		for i := range g.start {
+			g.start[i] = 0
+		}
+	}
+	if cap(g.ids) < len(pts) {
+		g.ids = make([]int32, len(pts))
+	} else {
+		g.ids = g.ids[:len(pts)]
+	}
+
+	// Pass 1: bucket sizes, shifted one slot right so the prefix sum below
+	// turns start[k] into the bucket's first index.
+	for _, p := range pts {
+		g.start[g.bucket(p)+1]++
+	}
+	for k := 1; k < nb; k++ {
+		g.start[k] += g.start[k-1]
+	}
+	// Pass 2: fill in id order; start[k] walks to the bucket's end, leaving
+	// start shifted back to [k] = first index of bucket k when done.
+	for i, p := range pts {
+		k := g.bucket(p)
+		g.ids[g.start[k]] = int32(i)
+		g.start[k]++
+	}
+	for k := nb - 1; k > 0; k-- {
+		g.start[k] = g.start[k-1]
+	}
+	g.start[0] = 0
+}
+
+// bucket maps a point to its cell index. Points are clamped into the
+// indexed bounds, so out-of-bounds queries degrade to edge cells rather
+// than missing.
+func (g *Grid) bucket(p Point) int {
+	cx := g.clampCol(int((p.X - g.minX) / g.cell))
+	cy := g.clampRow(int((p.Y - g.minY) / g.cell))
+	return cy*g.cols + cx
+}
+
+func (g *Grid) clampCol(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= g.cols {
+		return g.cols - 1
+	}
+	return c
+}
+
+func (g *Grid) clampRow(r int) int {
+	if r < 0 {
+		return 0
+	}
+	if r >= g.rows {
+		return g.rows - 1
+	}
+	return r
+}
+
+// Near appends to dst the ids of all indexed points within distance r of
+// p (boundary inclusive, matching Point.DistanceTo exactly) in ascending
+// id order, and returns the extended slice. Pass a reusable buffer to
+// keep flood hot paths allocation-free.
+func (g *Grid) Near(p Point, r float64, dst []int) []int {
+	if len(g.pts) == 0 || r < 0 {
+		return dst
+	}
+	cx0 := g.clampCol(int(math.Floor((p.X - r - g.minX) / g.cell)))
+	cx1 := g.clampCol(int(math.Floor((p.X + r - g.minX) / g.cell)))
+	cy0 := g.clampRow(int(math.Floor((p.Y - r - g.minY) / g.cell)))
+	cy1 := g.clampRow(int(math.Floor((p.Y + r - g.minY) / g.cell)))
+
+	from := len(dst)
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.cols
+		for cx := cx0; cx <= cx1; cx++ {
+			k := row + cx
+			for _, id := range g.ids[g.start[k]:g.start[k+1]] {
+				if p.DistanceTo(g.pts[id]) <= r {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	// Ids ascend within one bucket but not across the scanned block; the
+	// hit count is O(density), so an insertion-friendly sort is cheap.
+	sort.Ints(dst[from:])
+	return dst
+}
+
+// NearSplit classifies the indexed points around p by build-time distance
+// into certain hits (distance ≤ rIn) and boundary candidates
+// (rIn < distance ≤ rOut), appending ids to the two slices and returning
+// them, each in ascending order. Callers with a bound on how far points
+// can have drifted since the Rebuild use it to skip exact re-checks for
+// everything but the annulus: inside rIn the true distance provably
+// remains within the query radius, beyond rOut it provably does not.
+// Comparisons run in squared space — boundary-equal points land in the
+// conservative bucket (maybe), never the certain one.
+func (g *Grid) NearSplit(p Point, rIn, rOut float64, certain, maybe []int) ([]int, []int) {
+	if len(g.pts) == 0 || rOut < 0 {
+		return certain, maybe
+	}
+	rIn2 := -1.0 // rIn < 0: nothing is certain
+	if rIn >= 0 {
+		rIn2 = rIn * rIn
+	}
+	rOut2 := rOut * rOut
+
+	cx0 := g.clampCol(int(math.Floor((p.X - rOut - g.minX) / g.cell)))
+	cx1 := g.clampCol(int(math.Floor((p.X + rOut - g.minX) / g.cell)))
+	cy0 := g.clampRow(int(math.Floor((p.Y - rOut - g.minY) / g.cell)))
+	cy1 := g.clampRow(int(math.Floor((p.Y + rOut - g.minY) / g.cell)))
+
+	fromC, fromM := len(certain), len(maybe)
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.cols
+		for cx := cx0; cx <= cx1; cx++ {
+			k := row + cx
+			for _, id := range g.ids[g.start[k]:g.start[k+1]] {
+				q := g.pts[id]
+				dx, dy := p.X-q.X, p.Y-q.Y
+				d2 := dx*dx + dy*dy
+				switch {
+				case d2 < rIn2:
+					certain = append(certain, int(id))
+				case d2 <= rOut2:
+					maybe = append(maybe, int(id))
+				}
+			}
+		}
+	}
+	sort.Ints(certain[fromC:])
+	sort.Ints(maybe[fromM:])
+	return certain, maybe
+}

@@ -1,0 +1,121 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteNear is the O(n) reference the grid must match exactly.
+func bruteNear(pts []Point, p Point, r float64) []int {
+	var out []int
+	for i, q := range pts {
+		if p.DistanceTo(q) <= r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(120)
+		w := 100 + rng.Float64()*2000
+		h := 100 + rng.Float64()*2000
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+		}
+		cell := 50 + rng.Float64()*400
+		g := NewGrid(cell)
+		g.Rebuild(pts)
+		for q := 0; q < 20; q++ {
+			p := Point{X: rng.Float64()*w*1.2 - 0.1*w, Y: rng.Float64()*h*1.2 - 0.1*h}
+			r := rng.Float64() * 500
+			got := g.Near(p, r, nil)
+			want := bruteNear(pts, p, r)
+			if !equalInts(got, want) {
+				t.Fatalf("trial %d query %d: grid %v, brute %v (p=%v r=%g cell=%g)",
+					trial, q, got, want, p, r, cell)
+			}
+		}
+	}
+}
+
+func TestGridNearAscendingAndAppending(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 0}, {20, 0}, {500, 500}, {5, 5}}
+	g := NewGrid(250)
+	g.Rebuild(pts)
+	dst := []int{99}
+	dst = g.Near(Point{0, 0}, 30, dst)
+	if dst[0] != 99 {
+		t.Fatal("Near must append, not overwrite")
+	}
+	hits := dst[1:]
+	if !sort.IntsAreSorted(hits) {
+		t.Fatalf("hits not ascending: %v", hits)
+	}
+	if !equalInts(hits, []int{0, 1, 2, 4}) {
+		t.Fatalf("hits = %v, want [0 1 2 4]", hits)
+	}
+}
+
+func TestGridBoundaryInclusive(t *testing.T) {
+	pts := []Point{{0, 0}, {250, 0}}
+	g := NewGrid(250)
+	g.Rebuild(pts)
+	if got := g.Near(Point{0, 0}, 250, nil); !equalInts(got, []int{0, 1}) {
+		t.Fatalf("boundary point excluded: %v", got)
+	}
+	if got := g.Near(Point{0, 0}, 249.999, nil); !equalInts(got, []int{0}) {
+		t.Fatalf("beyond-radius point included: %v", got)
+	}
+}
+
+func TestGridRebuildReuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	g := NewGrid(250)
+	g.Rebuild(pts)
+	if g.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", g.Len())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		g.Rebuild(pts)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Rebuild allocates %.0f times", allocs)
+	}
+}
+
+func TestGridEmptyAndDegenerate(t *testing.T) {
+	g := NewGrid(250)
+	g.Rebuild(nil)
+	if got := g.Near(Point{0, 0}, 100, nil); len(got) != 0 {
+		t.Fatalf("empty grid returned %v", got)
+	}
+	// All points coincident: a single cell.
+	g.Rebuild([]Point{{5, 5}, {5, 5}, {5, 5}})
+	if got := g.Near(Point{5, 5}, 0, nil); !equalInts(got, []int{0, 1, 2}) {
+		t.Fatalf("coincident points: %v", got)
+	}
+	if got := g.Near(Point{5, 5}, -1, nil); len(got) != 0 {
+		t.Fatalf("negative radius returned %v", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

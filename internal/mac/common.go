@@ -32,11 +32,31 @@ const commonBitrate = 250_000 // bits/s
 const (
 	backoffSlot     = 2 * time.Millisecond
 	maxSendAttempts = 7
-	// collisionHorizon bounds how long finished transmissions are kept for
-	// overlap checks; it must exceed the longest control-packet airtime
-	// (a full 50-entry LSA is ~13.6 ms on air).
-	collisionHorizon = 50 * time.Millisecond
 )
+
+// LinkOracle is the narrow view of the radio environment the MAC layer
+// consumes — defined here, where it is used, so the channel core can
+// evolve freely and MAC tests can substitute fakes. *channel.Model is the
+// production implementation.
+type LinkOracle interface {
+	// N reports the number of terminals.
+	N() int
+	// Class reports the channel class between i and j at time at.
+	Class(i, j int, at time.Duration) channel.Class
+	// InRange reports whether i and j can currently hear each other.
+	InRange(i, j int, at time.Duration) bool
+	// Neighbors appends the ids of terminals within radio range of i to
+	// dst in ascending order and returns the extended slice.
+	Neighbors(i int, at time.Duration, dst []int) []int
+	// Interferes reports whether a transmission by i can reach any
+	// terminal that hears j — the CSMA collision-relevance question. It
+	// must return true whenever i is within radio range of j or of any
+	// terminal in range of j (twice the radio range covers both, by the
+	// triangle inequality); returning true beyond that is allowed, just
+	// slower. Implementations must not consult outage state: the exact
+	// InRange verdict stays with the collision check itself.
+	Interferes(i, j int, at time.Duration) bool
+}
 
 // ReceiveFunc handles a control packet arriving at a terminal. Each
 // receiver gets its own clone, so handlers may mutate the packet freely.
@@ -52,10 +72,21 @@ type transmission struct {
 // CommonChannel is the shared CSMA/CA signalling channel.
 type CommonChannel struct {
 	kernel   *sim.Kernel
-	model    *channel.Model
+	model    LinkOracle
 	rng      *rand.Rand
 	handlers []ReceiveFunc
 	active   []*transmission
+	nbuf     []int           // reusable neighbour scratch for broadcast delivery
+	obuf     []*transmission // reusable overlap-set scratch for one completion
+
+	// maxAir is the longest airtime put on this channel so far. It bounds
+	// how long a finished transmission stays relevant: a completion at time
+	// t checks overlap against [start, end] with start ≥ t − maxAir, so
+	// anything ending at or before t − maxAir can never collide again and
+	// is safe to prune. Tracking the real maximum (instead of a fixed
+	// horizon) keeps the active list at O(concurrent) during dense flood
+	// storms and stays correct for packets of any size.
+	maxAir time.Duration
 
 	// OnTransmit, if set, observes every packet put on air (routing
 	// overhead accounting: each attempt that actually transmits counts).
@@ -68,7 +99,7 @@ type CommonChannel struct {
 
 // NewCommonChannel builds the channel for the terminals covered by model.
 // rng drives backoff jitter and must be a dedicated stream.
-func NewCommonChannel(kernel *sim.Kernel, model *channel.Model, rng *rand.Rand) *CommonChannel {
+func NewCommonChannel(kernel *sim.Kernel, model LinkOracle, rng *rand.Rand) *CommonChannel {
 	return &CommonChannel{
 		kernel:   kernel,
 		model:    model,
@@ -111,6 +142,9 @@ func (c *CommonChannel) attempt(pkt *packet.Packet, tries int) {
 	}
 
 	airtime := time.Duration(float64(pkt.Size*8) / commonBitrate * float64(time.Second))
+	if airtime > c.maxAir {
+		c.maxAir = airtime
+	}
 	tx := &transmission{from: pkt.From, start: now, end: now + airtime, pkt: pkt}
 	c.active = append(c.active, tx)
 	if c.OnTransmit != nil {
@@ -145,36 +179,54 @@ func (c *CommonChannel) senseBusy(from int, now time.Duration) bool {
 
 // complete finishes transmission tx: it delivers to every receiver in
 // range of the sender that did not experience an overlapping transmission
-// (collision), then prunes stale history.
+// (collision), then prunes stale history. Broadcasts scan only the
+// sender's neighbourhood (an O(density) grid query) instead of the whole
+// terminal set; unicasts test the single target directly.
 func (c *CommonChannel) complete(tx *transmission, now time.Duration) {
-	for j := range c.handlers {
-		if j == tx.from || c.handlers[j] == nil {
-			continue
+	if to := tx.pkt.To; to != packet.Broadcast {
+		if to != tx.from && to >= 0 && to < len(c.handlers) && c.handlers[to] != nil &&
+			c.model.InRange(tx.from, to, now) {
+			c.overlaps(tx, now)
+			if !c.collidedAt(to, now) {
+				c.handlers[to](tx.pkt.Clone(), now)
+			}
 		}
-		if tx.pkt.To != packet.Broadcast && tx.pkt.To != j {
-			continue
+	} else if c.nbuf = c.model.Neighbors(tx.from, now, c.nbuf[:0]); len(c.nbuf) > 0 {
+		c.overlaps(tx, now)
+		for _, j := range c.nbuf {
+			if c.handlers[j] == nil || c.collidedAt(j, now) {
+				continue
+			}
+			c.handlers[j](tx.pkt.Clone(), now)
 		}
-		if !c.model.InRange(tx.from, j, now) {
-			continue
-		}
-		if c.collidedAt(j, tx, now) {
-			continue
-		}
-		c.handlers[j](tx.pkt.Clone(), now)
 	}
 	c.prune(now)
 }
 
-// collidedAt reports whether receiver j heard another transmission that
-// overlapped tx in time — the hidden-terminal destruction case.
-func (c *CommonChannel) collidedAt(j int, tx *transmission, now time.Duration) bool {
+// overlaps fills c.obuf with the transmissions relevant to tx's receivers:
+// the temporal-overlap set is the same for every receiver of one
+// completion, so it is computed once, and transmitters beyond interference
+// range of the sender are dropped — they cannot reach any terminal that
+// hears tx.from, so no receiver's InRange check against them could
+// succeed. Called only when at least one delivery is actually possible.
+func (c *CommonChannel) overlaps(tx *transmission, now time.Duration) {
+	c.obuf = c.obuf[:0]
 	for _, other := range c.active {
-		if other == tx {
+		if other == tx || other.start >= tx.end || other.end <= tx.start {
 			continue
 		}
-		if other.start >= tx.end || other.end <= tx.start {
-			continue // no temporal overlap
+		if !c.model.Interferes(other.from, tx.from, now) {
+			continue
 		}
+		c.obuf = append(c.obuf, other)
+	}
+}
+
+// collidedAt reports whether receiver j heard a transmission overlapping
+// the one being completed (the precomputed c.obuf) — the hidden-terminal
+// destruction case.
+func (c *CommonChannel) collidedAt(j int, now time.Duration) bool {
+	for _, other := range c.obuf {
 		if other.from == j {
 			return true // receiver was itself transmitting
 		}
@@ -185,11 +237,15 @@ func (c *CommonChannel) collidedAt(j int, tx *transmission, now time.Duration) b
 	return false
 }
 
-// prune drops transmissions too old to matter for future overlap checks.
+// prune drops transmissions that can no longer overlap any future
+// completion. A transmission still on air at time now started at
+// now − airtime ≥ now − maxAir, so anything that ended at or before
+// now − maxAir is provably irrelevant (overlap is strict: touching
+// boundaries do not collide).
 func (c *CommonChannel) prune(now time.Duration) {
 	keep := c.active[:0]
 	for _, tx := range c.active {
-		if tx.end+collisionHorizon > now {
+		if tx.end+c.maxAir > now {
 			keep = append(keep, tx)
 		}
 	}

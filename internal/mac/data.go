@@ -29,7 +29,7 @@ type SendResult struct {
 // link is the caller's job (the network layer's per-link queue).
 type DataPlane struct {
 	kernel   *sim.Kernel
-	model    *channel.Model
+	model    LinkOracle
 	handlers []DeliverFunc
 
 	// MaxRetries is how many times a transmission that lost its receiver
@@ -47,7 +47,7 @@ type DataPlane struct {
 }
 
 // NewDataPlane builds the data plane over the given channel model.
-func NewDataPlane(kernel *sim.Kernel, model *channel.Model) *DataPlane {
+func NewDataPlane(kernel *sim.Kernel, model LinkOracle) *DataPlane {
 	return &DataPlane{
 		kernel:     kernel,
 		model:      model,

@@ -12,11 +12,16 @@ package mobility
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
 	"rica/internal/geom"
 )
+
+// StableForever is the PositionStableUntil result of a terminal that
+// never moves again: effectively the end of virtual time.
+const StableForever = time.Duration(math.MaxInt64)
 
 // minLegSpeed guards against a uniform draw of (almost) exactly zero, which
 // would create a leg of essentially infinite duration and freeze the node
@@ -120,6 +125,40 @@ func (n *Node) nextLeg() {
 	}
 	dist := n.from.DistanceTo(n.to)
 	n.arrive = n.depart + time.Duration(dist/speed*float64(time.Second))
+}
+
+// PositionStableUntil reports the next leg/pause boundary: the first
+// virtual instant after at when Position may return something different
+// from Position(at). While pausing that is the departure time of the next
+// leg; while moving the position changes continuously, so it is at
+// itself; a static terminal is stable forever. Caching layers (the
+// channel snapshot) use this to know exactly when a memoized position
+// goes stale instead of guessing. Like Position, queries must be
+// non-decreasing in time.
+func (n *Node) PositionStableUntil(at time.Duration) time.Duration {
+	if n.cfg.MaxSpeed <= 0 {
+		return StableForever
+	}
+	n.advanceTo(at)
+	switch {
+	case at < n.depart:
+		return n.depart // pausing ahead of the current leg
+	case at >= n.arrive:
+		return n.arrive + n.cfg.Pause // pausing at the waypoint
+	default:
+		return at // in motion: stale immediately
+	}
+}
+
+// SpeedLimit reports a hard upper bound on the terminal's instantaneous
+// speed over its whole trajectory: per-leg speeds are drawn in
+// (0, MaxSpeed], floored at the minimum leg speed. The channel snapshot
+// layer uses it to bound position drift against a stale spatial index.
+func (n *Node) SpeedLimit() float64 {
+	if n.cfg.MaxSpeed <= 0 {
+		return 0
+	}
+	return math.Max(n.cfg.MaxSpeed, minLegSpeed)
 }
 
 // Speed reports the terminal's instantaneous speed in m/s at time at

@@ -43,6 +43,17 @@ func (r DropReason) String() string {
 	return fmt.Sprintf("DropReason(%d)", int(r))
 }
 
+// LinkOracle is the slice of the channel model the node runtime consumes:
+// the network size and the instantaneous CSI measurement behind
+// Env.LinkClass. Defined here, where it is used, so node tests can
+// substitute fakes; *channel.Model is the production implementation.
+type LinkOracle interface {
+	// N reports the number of terminals.
+	N() int
+	// Class reports the channel class between i and j at time at.
+	Class(i, j int, at time.Duration) channel.Class
+}
+
 // Recorder receives the data-plane lifecycle events the metrics layer
 // aggregates. Implemented by metrics.Collector.
 type Recorder interface {

@@ -32,7 +32,7 @@ type Node struct {
 	kernel *sim.Kernel
 	common *mac.CommonChannel
 	data   *mac.DataPlane
-	model  *channel.Model
+	model  LinkOracle
 	rng    *rand.Rand
 	rec    Recorder
 	cfg    NodeConfig
@@ -47,7 +47,7 @@ var _ Env = (*Node)(nil)
 // separately (SetAgent) because agents are constructed around the Env the
 // node provides.
 func NewNode(id int, kernel *sim.Kernel, common *mac.CommonChannel, data *mac.DataPlane,
-	model *channel.Model, rng *rand.Rand, rec Recorder, cfg NodeConfig) *Node {
+	model LinkOracle, rng *rand.Rand, rec Recorder, cfg NodeConfig) *Node {
 	if cfg.BufferCap <= 0 {
 		panic("network: BufferCap must be positive")
 	}

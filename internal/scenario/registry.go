@@ -83,6 +83,16 @@ var builtins = map[string]Spec{
 		},
 		Duration: Duration(60 * time.Second),
 	},
+	"metro-500": {
+		Name:        "metro-500",
+		Description: "500 waypoint terminals over 10 km² at the paper's density: the dense-field stress the spatial-grid radio core exists for.",
+		Topology: Topology{
+			Kind: TopoWaypoint, N: 500, Width: 3160, Height: 3160,
+			MeanSpeedKmh: 36, Pause: Duration(3 * time.Second),
+		},
+		Traffic:  Traffic{Kind: TrafficPoisson, Flows: 50, Rate: 10},
+		Duration: Duration(60 * time.Second),
+	},
 	"churn-heavy": {
 		Name:        "churn-heavy",
 		Description: "The paper's field at 72 km/h with a rolling outage schedule: one terminal after another blinks out for 15 s.",

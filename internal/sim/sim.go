@@ -164,4 +164,11 @@ func (t *Timer) Cancel() {
 func (t *Timer) Cancelled() bool { return t != nil && t.ev != nil && t.ev.cancelled }
 
 // When reports the virtual time the event is (or was) scheduled to fire.
-func (t *Timer) When() time.Duration { return t.ev.at }
+// Like Cancel and Cancelled, it is nil-safe: a nil or zero timer reports
+// zero rather than panicking.
+func (t *Timer) When() time.Duration {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}

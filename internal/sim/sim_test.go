@@ -100,6 +100,21 @@ func TestCancelIsIdempotent(t *testing.T) {
 	k.RunAll()
 }
 
+func TestWhenNilSafe(t *testing.T) {
+	var nilTimer *Timer
+	if got := nilTimer.When(); got != 0 {
+		t.Fatalf("nil Timer.When() = %v, want 0", got)
+	}
+	if got := (&Timer{}).When(); got != 0 {
+		t.Fatalf("zero Timer.When() = %v, want 0", got)
+	}
+	k := NewKernel()
+	tm := k.Schedule(3*time.Second, func(time.Duration) {})
+	if got := tm.When(); got != 3*time.Second {
+		t.Fatalf("When() = %v, want 3s", got)
+	}
+}
+
 func TestCancelFromWithinEarlierEvent(t *testing.T) {
 	k := NewKernel()
 	fired := false

@@ -228,13 +228,20 @@ func New(cfg Config, factory AgentFactory) *World {
 // weights — the "accurate view of the network topology installed in each
 // mobile terminal" the paper gives the link-state protocol. The snapshot
 // is computed once and shared (it is read-only to agents by convention).
+// Candidate edges come from the channel's spatial index — O(n · density)
+// Class probes instead of the n(n−1)/2 all-pairs sweep.
 func (w *World) BootTopology() *routing.Graph {
 	if w.topo0 != nil {
 		return w.topo0
 	}
 	g := routing.NewGraph(w.Cfg.N)
+	var nbuf []int
 	for i := 0; i < w.Cfg.N; i++ {
-		for j := i + 1; j < w.Cfg.N; j++ {
+		nbuf = w.Model.Neighbors(i, 0, nbuf[:0])
+		for _, j := range nbuf {
+			if j <= i {
+				continue // each unordered pair probed once, in (i, j) order
+			}
 			if c := w.Model.Class(i, j, 0); c.Usable() {
 				g.SetEdge(i, j, c.HopDistance())
 			}
@@ -263,3 +270,7 @@ type pinned geom.Point
 
 // Position implements channel.Positioner.
 func (p pinned) Position(time.Duration) geom.Point { return geom.Point(p) }
+
+// PositionStableUntil implements channel.Stabler: a pinned terminal never
+// moves, so the channel snapshot layer never re-derives it.
+func (p pinned) PositionStableUntil(time.Duration) time.Duration { return mobility.StableForever }
