@@ -11,6 +11,7 @@
 //	ricasim -scenario dense-urban -protocols RICA,AODV -out results.json
 //	ricasim -scenario chain-10,grid-8x8 -trials 5 -format csv
 //	ricasim -scenario my-spec.json        # a hand-written JSON spec
+//	ricasim -scenario partition-heal -timeline out.jsonl -interval 1s
 //
 // Figures: 2a/2b delay, 3a/3b delivery, 4a/4b overhead (a = 10 packets/s,
 // b = 20 packets/s), 5a/5b route quality at 72 km/h, 6a/6b throughput
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +45,8 @@ func main() {
 		scenarios   = flag.String("scenario", "", "run a batch over comma-separated scenario names and/or JSON spec files")
 		list        = flag.Bool("list-scenarios", false, "print the built-in scenario catalog and exit")
 		out         = flag.String("out", "", "write batch results to this file (.json or .csv; default stdout)")
+		timeline    = flag.String("timeline", "", "write per-interval telemetry for every batch cell to this file (.csv for CSV, anything else for JSONL)")
+		interval    = flag.Duration("interval", time.Second, "telemetry bucket width for -timeline")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this file")
 	)
@@ -95,7 +99,8 @@ func main() {
 		if flagSet("figure") {
 			fatalf("-figure and -scenario are mutually exclusive")
 		}
-		runBatch(*scenarios, *protocols, *trials, *seed, *parallelism, *duration, *format, *out)
+		runBatch(*scenarios, *protocols, *trials, *seed, *parallelism, *duration,
+			*format, *out, *timeline, *interval)
 		return
 	}
 
@@ -104,6 +109,9 @@ func main() {
 	}
 	if *out != "" {
 		fatalf("-out is only supported with -scenario batches")
+	}
+	if *timeline != "" {
+		fatalf("-timeline is only supported with -scenario batches")
 	}
 	opts := rica.Options{
 		Trials:      *trials,
@@ -214,7 +222,7 @@ func listScenarios() {
 // runBatch executes the scenario × protocol × seed grid and writes the
 // results in the requested format.
 func runBatch(list, protocols string, trials int, seed int64, parallelism int,
-	duration time.Duration, format, out string) {
+	duration time.Duration, format, out, timeline string, interval time.Duration) {
 	durationSet := flagSet("duration")
 	outFormat := ""
 	if out != "" {
@@ -229,6 +237,26 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism int,
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s seed=%d delivery=%.1f%%\n",
 				p.Done, p.Total, p.Cell.Scenario, p.Cell.Protocol, p.Cell.Seed, p.Cell.DeliveryPct)
 		},
+	}
+
+	var (
+		timelineFile *os.File
+		timelineBuf  *bufio.Writer
+	)
+	if timeline != "" {
+		f, err := os.Create(timeline)
+		if err != nil {
+			fatalf("-timeline: %v", err)
+		}
+		timelineFile = f
+		// Sinks write one small row per interval; buffer them so a
+		// metro-scale batch isn't syscall-bound on telemetry export.
+		timelineBuf = bufio.NewWriter(f)
+		sink := rica.NewJSONLTimelineSink(timelineBuf)
+		if strings.HasSuffix(timeline, ".csv") {
+			sink = rica.NewCSVTimelineSink(timelineBuf)
+		}
+		cfg.Telemetry = &rica.BatchTelemetry{Interval: interval, Sink: sink}
 	}
 	for _, part := range strings.Split(list, ",") {
 		part = strings.TrimSpace(part)
@@ -264,6 +292,16 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism int,
 	res, err := rica.RunBatch(cfg)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if timelineFile != nil {
+		err := timelineBuf.Flush()
+		if cerr := timelineFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatalf("writing %s: %v", timeline, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", timeline)
 	}
 
 	if outFile != nil {

@@ -1,0 +1,63 @@
+// Failuretimeline watches a network break and repair itself in real
+// time. It replays the partition-heal scenario — a 7-terminal chain
+// whose only bridge (terminal 3) is radio-dead for the first 40 s — with
+// per-interval telemetry attached, and prints the recovery curve: the
+// delivery ratio sits depressed while the cross traffic is partitioned,
+// then climbs as the bridge heals and the routing protocol re-discovers
+// the end-to-end route. The same timeline also shows the route-table
+// churn spike at the heal, the per-interval delay percentiles, and the
+// drop reasons shifting from no-route to none.
+//
+// Run with:
+//
+//	go run ./examples/failuretimeline
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rica"
+)
+
+// interval is the telemetry bucket width: 5 s is coarse enough to smooth
+// Poisson noise on a 3-flow workload, fine enough to see the heal edge.
+const interval = 5 * time.Second
+
+func main() {
+	spec, err := rica.ScenarioByName("partition-heal")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var sink rica.MemoryTimelineSink
+	_, err = rica.RunBatch(rica.BatchConfig{
+		Scenarios: []rica.Scenario{spec},
+		Protocols: []rica.Protocol{rica.ProtocolRICA, rica.ProtocolAODV},
+		Trials:    1,
+		Telemetry: &rica.BatchTelemetry{Interval: interval, Sink: &sink},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("partition-heal: chain 0–6, bridge terminal 3 dead until t=40s, %v buckets\n\n", interval)
+	for _, run := range sink.Runs {
+		fmt.Printf("%s delivery ratio per interval:\n", run.Run.Protocol)
+		for _, p := range run.Timeline.Points {
+			marker := " "
+			if p.StartS < 40 {
+				marker = "✗" // bridge down
+			}
+			bar := strings.Repeat("█", int(p.DeliveryRatio*40+0.5))
+			fmt.Printf("  t=%3.0fs %s %5.1f%% %s\n", p.StartS, marker, p.DeliveryRatio*100, bar)
+		}
+		fmt.Println()
+	}
+	fmt.Println("✗ = bridge down. Watch the curve step up after t=40s as routes re-form;")
+	fmt.Println("the interval timeline is what end-of-run aggregates average away.")
+}

@@ -17,6 +17,7 @@ import (
 	"rica/internal/experiment"
 	"rica/internal/metrics"
 	"rica/internal/scenario"
+	"rica/internal/timeseries"
 	"rica/internal/world"
 )
 
@@ -43,6 +44,19 @@ type Config struct {
 	// OnProgress, if set, is called after every finished cell (from worker
 	// goroutines, serialized by the engine).
 	OnProgress func(p Progress)
+	// Telemetry, when non-nil, makes every cell collect an interval
+	// timeline alongside its aggregate row. Timelines are emitted to the
+	// sink serially, in grid order, after all cells complete — so equal
+	// batches stream byte-identical telemetry regardless of Workers.
+	Telemetry *Telemetry
+}
+
+// Telemetry configures per-cell timeline collection for a batch.
+type Telemetry struct {
+	// Interval is the bucket width; zero means timeseries.DefaultInterval.
+	Interval time.Duration
+	// Sink receives one Emit per cell, in grid order. Required.
+	Sink timeseries.Sink
 }
 
 // Progress reports one finished cell.
@@ -106,6 +120,9 @@ func Run(cfg Config) (Result, error) {
 	if len(cfg.Scenarios) == 0 {
 		return Result{}, fmt.Errorf("batch: no scenarios")
 	}
+	if cfg.Telemetry != nil && cfg.Telemetry.Sink == nil {
+		return Result{}, fmt.Errorf("batch: Telemetry needs a Sink")
+	}
 	protocols := cfg.Protocols
 	if len(protocols) == 0 {
 		protocols = experiment.AllProtocols()
@@ -143,6 +160,10 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	results := make([]CellResult, len(cells))
+	var timelines []timeseries.Timeline
+	if cfg.Telemetry != nil {
+		timelines = make([]timeseries.Timeline, len(cells))
+	}
 	jobs := make(chan int)
 	var (
 		wg       sync.WaitGroup
@@ -154,7 +175,11 @@ func Run(cfg Config) (Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runCell(cells[i])
+				var tl *timeseries.Timeline
+				if timelines != nil {
+					tl = &timelines[i]
+				}
+				results[i] = runCell(cells[i], cfg.Telemetry, tl)
 				if cfg.OnProgress != nil {
 					progress.Lock()
 					done++
@@ -170,6 +195,18 @@ func Run(cfg Config) (Result, error) {
 	close(jobs)
 	wg.Wait()
 
+	// Telemetry drains serially in grid order: each cell collected into
+	// its own collector, so the emitted byte stream is independent of how
+	// many workers ran or in what order cells finished.
+	if cfg.Telemetry != nil {
+		for i, c := range cells {
+			run := timeseries.Run{Scenario: c.spec.Name, Protocol: c.protocol.String(), Seed: c.seed}
+			if err := cfg.Telemetry.Sink.Emit(run, timelines[i]); err != nil {
+				return Result{}, fmt.Errorf("batch: telemetry sink: %w", err)
+			}
+		}
+	}
+
 	return Result{
 		BaseSeed:   baseSeed,
 		Trials:     trials,
@@ -178,11 +215,19 @@ func Run(cfg Config) (Result, error) {
 	}, nil
 }
 
-// runCell executes one fully deterministic simulation.
-func runCell(c cell) CellResult {
+// runCell executes one fully deterministic simulation; when telemetry is
+// enabled it attaches a fresh per-run collector and stores the finished
+// timeline through tl.
+func runCell(c cell, tele *Telemetry, tl *timeseries.Timeline) CellResult {
 	wcfg := c.cfg // each cell mutates its own copy
 	wcfg.Seed = c.seed
+	if tele != nil {
+		wcfg.Timeseries = timeseries.NewCollector(tele.Interval, wcfg.Duration)
+	}
 	s := world.New(wcfg, experiment.Factory(c.protocol, c.spec.Traffic.Rate)).Run()
+	if tele != nil {
+		*tl = wcfg.Timeseries.Timeline()
+	}
 	return CellResult{
 		Scenario:     c.spec.Name,
 		Protocol:     c.protocol.String(),

@@ -7,6 +7,15 @@ import (
 	"strings"
 )
 
+// csvField quotes a string field per RFC 4180 when it contains a comma,
+// quote, or newline, so free-text scenario names cannot shift columns.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n\r") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
 // WriteJSON streams the result as indented JSON. Cell and aggregate rows
 // are in grid order and contain no maps, so equal batches serialize to
 // identical bytes.
@@ -28,7 +37,7 @@ func (r Result) WriteCSV(w io.Writer) error {
 	}
 	for _, a := range r.Aggregates {
 		_, err := fmt.Fprintf(w, "%s,%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
-			a.Scenario, a.Protocol, a.Trials,
+			csvField(a.Scenario), csvField(a.Protocol), a.Trials,
 			a.DeliveryPct.Mean, a.DeliveryPct.P50, a.DeliveryPct.P95,
 			a.AvgDelayMs.Mean, a.AvgDelayMs.P50, a.AvgDelayMs.P95,
 			a.OverheadKbps.Mean, a.OverheadKbps.P50, a.OverheadKbps.P95,

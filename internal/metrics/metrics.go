@@ -1,9 +1,15 @@
-// Package metrics aggregates the measurements the paper's evaluation
-// reports: average end-to-end delay, successful delivery percentage,
-// routing overhead in bits per second (routing packets on the common
-// channel plus data acknowledgments), route quality (average link
-// throughput and hop count of delivered packets), and the 4-second-bucket
-// aggregate throughput time series of Figure 6.
+// Package metrics aggregates one run's end-of-run measurements — the
+// numbers the paper's evaluation reports: average end-to-end delay,
+// successful delivery percentage, routing overhead in bits per second
+// (routing packets on the common channel plus data acknowledgments),
+// route quality (average link throughput and hop count of delivered
+// packets), and the 4-second-bucket aggregate throughput time series of
+// Figure 6.
+//
+// These are whole-run aggregates by design; per-interval observability
+// (how delivery dips and recovers around a failure, when the control
+// channel saturates) lives in the timeseries package, which attaches
+// alongside this collector without perturbing it.
 package metrics
 
 import (

@@ -62,6 +62,21 @@ type Recorder interface {
 	DataDropped(pkt *packet.Packet, reason DropReason, now time.Duration)
 }
 
+// RouteRecorder is an optional extension of Recorder: a recorder that
+// also implements it receives route-table churn — entries installed and
+// entries invalidated, per terminal — which the timeseries telemetry
+// buckets into per-interval convergence curves. Node runtimes detect the
+// extension with a type assertion at construction, so plain Recorders
+// pay nothing.
+type RouteRecorder interface {
+	// RouteInstalled reports that terminal node installed or replaced one
+	// route-table entry.
+	RouteInstalled(node int, now time.Duration)
+	// RouteInvalidated reports that one of terminal node's route entries
+	// transitioned from valid to invalid.
+	RouteInvalidated(node int, now time.Duration)
+}
+
 // Agent is one terminal's routing protocol instance. The network layer
 // calls it; it acts through the Env it was constructed with.
 type Agent interface {

@@ -35,6 +35,7 @@ type Node struct {
 	model  LinkOracle
 	rng    *rand.Rand
 	rec    Recorder
+	routes RouteRecorder // non-nil only when rec wants route churn
 	cfg    NodeConfig
 	agent  Agent
 
@@ -62,6 +63,9 @@ func NewNode(id int, kernel *sim.Kernel, common *mac.CommonChannel, data *mac.Da
 		rec:    rec,
 		cfg:    cfg,
 		queues: make(map[int]*linkQueue),
+	}
+	if rr, ok := rec.(RouteRecorder); ok {
+		nd.routes = rr
 	}
 	common.Register(id, nd.onControl)
 	data.Register(id, nd.onData)
@@ -146,6 +150,23 @@ func (nd *Node) LinkClass(j int) channel.Class {
 
 // Rand implements Env.
 func (nd *Node) Rand() *rand.Rand { return nd.rng }
+
+// NoteRouteInstalled implements routing.TableObserver: the attached
+// agent's route table installed an entry. Forwarded to the recorder when
+// it implements RouteRecorder, dropped otherwise.
+func (nd *Node) NoteRouteInstalled() {
+	if nd.routes != nil {
+		nd.routes.RouteInstalled(nd.id, nd.kernel.Now())
+	}
+}
+
+// NoteRouteInvalidated implements routing.TableObserver: one of the
+// agent's route entries became invalid.
+func (nd *Node) NoteRouteInvalidated() {
+	if nd.routes != nil {
+		nd.routes.RouteInvalidated(nd.id, nd.kernel.Now())
+	}
+}
 
 // EnqueueData implements Env: store-and-forward toward neighbour next.
 func (nd *Node) EnqueueData(pkt *packet.Packet, next int) {

@@ -264,11 +264,17 @@ func (a *Agent) applyLSA(pkt *packet.Packet) {
 }
 
 // nextHop answers from the cached shortest-path tree, recomputing only
-// when the view changed.
+// when the view changed. A table-driven protocol has no per-destination
+// install/invalidate churn, so each SPT recompute is reported as one
+// route install to telemetry-wired environments — the closest analogue
+// of "the forwarding state changed".
 func (a *Agent) nextHop(dst int) int {
 	if a.sptDirty {
 		a.sptNext, _ = a.topo.ShortestPaths(a.env.ID())
 		a.sptDirty = false
+		if obs, ok := a.env.(routing.TableObserver); ok {
+			obs.NoteRouteInstalled()
+		}
 	}
 	return a.sptNext[dst]
 }

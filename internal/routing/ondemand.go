@@ -122,10 +122,18 @@ func NewCore(env network.Env, cfg CoreConfig) *Core {
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = MaxDiscoveryRetries
 	}
+	table := NewTable(cfg.RouteIdle)
+	// Env implementations wired for telemetry (network.Node) receive the
+	// table's churn; scripted test envs simply don't implement the
+	// observer and stay unaffected.
+	if obs, ok := env.(TableObserver); ok {
+		table.OnInstall = obs.NoteRouteInstalled
+		table.OnInvalidate = obs.NoteRouteInvalidated
+	}
 	return &Core{
 		env:      env,
 		cfg:      cfg,
-		Table:    NewTable(cfg.RouteIdle),
+		Table:    table,
 		hist:     NewHistory(),
 		pending:  make(map[int]*Pending),
 		queries:  make(map[int]*queryState),

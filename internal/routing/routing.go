@@ -64,12 +64,30 @@ type Entry struct {
 	Valid     bool
 }
 
+// TableObserver is optionally implemented by network.Env implementations
+// that want route-table churn forwarded to telemetry (network.Node
+// forwards it to the run's timeseries collector). NewCore wires a
+// conforming Env's methods into the table's churn hooks.
+type TableObserver interface {
+	// NoteRouteInstalled observes one entry installed or replaced.
+	NoteRouteInstalled()
+	// NoteRouteInvalidated observes one entry transitioning valid→invalid.
+	NoteRouteInvalidated()
+}
+
 // Table maps destinations to route entries with idle expiry: an entry not
 // refreshed within the table's timeout is treated as absent, implementing
 // the paper's "original route automatically expires" rule.
 type Table struct {
 	entries     map[int]*Entry
 	IdleTimeout time.Duration // zero disables expiry
+
+	// OnInstall and OnInvalidate, when set, observe table churn: OnInstall
+	// fires after every Install, OnInvalidate once per entry transitioning
+	// from valid to invalid — whether by explicit invalidation, link-break
+	// fan-out, or lazily discovered idle expiry.
+	OnInstall    func()
+	OnInvalidate func()
 }
 
 // NewTable returns an empty table with the given idle timeout.
@@ -86,6 +104,9 @@ func (t *Table) Lookup(dst int, now time.Duration) *Entry {
 	}
 	if t.IdleTimeout > 0 && now-e.UpdatedAt > t.IdleTimeout {
 		e.Valid = false
+		if t.OnInvalidate != nil {
+			t.OnInvalidate()
+		}
 		return nil
 	}
 	return e
@@ -100,6 +121,9 @@ func (t *Table) Peek(dst int) *Entry { return t.entries[dst] }
 func (t *Table) Install(dst, next int, hopCount float64, geoHops int, now time.Duration) *Entry {
 	e := &Entry{Dst: dst, Next: next, HopCount: hopCount, GeoHops: geoHops, UpdatedAt: now, Valid: true}
 	t.entries[dst] = e
+	if t.OnInstall != nil {
+		t.OnInstall()
+	}
 	return e
 }
 
@@ -112,8 +136,11 @@ func (t *Table) Touch(dst int, now time.Duration) {
 
 // Invalidate marks the route toward dst unusable.
 func (t *Table) Invalidate(dst int) {
-	if e := t.entries[dst]; e != nil {
+	if e := t.entries[dst]; e != nil && e.Valid {
 		e.Valid = false
+		if t.OnInvalidate != nil {
+			t.OnInvalidate()
+		}
 	}
 }
 
@@ -124,6 +151,9 @@ func (t *Table) InvalidateNext(next int) []int {
 	for dst, e := range t.entries {
 		if e.Valid && e.Next == next {
 			e.Valid = false
+			if t.OnInvalidate != nil {
+				t.OnInvalidate()
+			}
 			dsts = append(dsts, dst)
 		}
 	}

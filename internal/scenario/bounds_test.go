@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// validBase returns a spec that passes validation, for mutation tests.
+func validBase() Spec {
+	return Spec{
+		Name:     "base",
+		Topology: Topology{Kind: TopoChain, N: 5, Spacing: 200},
+		Traffic:  Traffic{Kind: TrafficPoisson, Flows: 1, Rate: 5},
+	}
+}
+
+func TestSanityBoundsRejectAbsurdSpecs(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantSub string // the offending field must appear in the error
+	}{
+		{"huge grid spacing", func(s *Spec) {
+			s.Topology = Topology{Kind: TopoGrid, Rows: 2, Cols: 2, Spacing: 1e306}
+		}, "spacing"},
+		{"huge chain spacing", func(s *Spec) {
+			s.Topology.Spacing = 1e9
+		}, "spacing"},
+		{"huge waypoint field", func(s *Spec) {
+			s.Topology = Topology{Kind: TopoWaypoint, N: 5, Width: 1e12, Height: 100}
+		}, "width"},
+		{"relativistic speed", func(s *Spec) {
+			s.Topology = Topology{Kind: TopoWaypoint, N: 5, Width: 100, Height: 100, MeanSpeedKmh: 1e300}
+		}, "mean_speed_kmh"},
+		{"distant static position", func(s *Spec) {
+			s.Topology = Topology{Kind: TopoStatic, Positions: []Point{{X: 0, Y: 0}, {X: 1e308, Y: 0}}}
+		}, "positions"},
+		{"runaway cluster", func(s *Spec) {
+			s.Topology = Topology{Kind: TopoClusters, Clusters: []Cluster{
+				{X: 1e300, Y: 0, Radius: 10, Count: 2},
+			}}
+		}, "cluster"},
+		{"too many terminals", func(s *Spec) {
+			s.Topology = Topology{Kind: TopoChain, N: MaxNodes + 1, Spacing: 1}
+		}, "terminals"},
+		{"firehose rate", func(s *Spec) {
+			s.Traffic.Rate = 1e12
+		}, "rate"},
+		{"micrometre range", func(s *Spec) {
+			s.RangeM = 1e-300
+		}, "range_m"},
+		{"kilometre-scale range", func(s *Spec) {
+			s.RangeM = 1e9
+		}, "range_m"},
+		{"geological duration", func(s *Spec) {
+			s.Duration = Duration(1000 * 24 * time.Hour)
+		}, "duration"},
+		{"overflowing flow count", func(s *Spec) {
+			// 2*Flows would overflow int64 and go negative; the disjointness
+			// check must not be fooled by it.
+			s.Traffic.Flows = 1 << 62
+		}, "flows"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validBase()
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("absurd spec validated")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the offending field (%q)", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestAbsurdSpecsDoNotCompile(t *testing.T) {
+	// The 1e306 spacing used to pass validation and panic inside the
+	// spatial index mid-run; Compile must now refuse it outright.
+	s := validBase()
+	s.Topology = Topology{Kind: TopoGrid, Rows: 2, Cols: 2, Spacing: 1e306}
+	if _, err := s.Compile(); err == nil {
+		t.Fatal("Compile accepted a grid the spatial index cannot represent")
+	}
+}
+
+func TestSaneSpecsStillValidate(t *testing.T) {
+	// The bounds must not reject realistic scenarios — the largest
+	// built-in (metro-500) and a generous hand-rolled field both pass.
+	big := Spec{
+		Name: "big",
+		Topology: Topology{
+			Kind: TopoWaypoint, N: 1000, Width: 10_000, Height: 10_000, MeanSpeedKmh: 120,
+		},
+		Traffic:  Traffic{Kind: TrafficPoisson, Flows: 100, Rate: 50},
+		RangeM:   500,
+		Duration: Duration(time.Hour),
+	}
+	if err := big.Validate(); err != nil {
+		t.Fatalf("sane large spec rejected: %v", err)
+	}
+}

@@ -216,8 +216,34 @@ func (s Spec) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
+// Sanity bounds for spec fields. JSON happily expresses a 10^306-metre
+// grid spacing or a 10^300 km/h speed; those parse, but downstream the
+// spatial index or the mobility model melts (integer-overflow panics,
+// unbounded rebuild loops). Validation rejects them up front, naming the
+// offending field, so a bad spec is an error message and never a panic.
+const (
+	// MaxNodes bounds how many terminals a topology may place.
+	MaxNodes = 100_000
+	// MaxCoordM bounds every coordinate and extent in metres (50 km —
+	// far beyond any ad hoc radio deployment).
+	MaxCoordM = 50_000
+	// MaxSpeedKmh bounds the waypoint mean speed.
+	MaxSpeedKmh = 1_000
+	// MaxRate bounds the per-flow offered load in packets/s.
+	MaxRate = 100_000
+	// MaxDuration bounds the horizon and every schedule timestamp.
+	MaxDuration = Duration(24 * time.Hour)
+	// MinRangeM and MaxRangeM bound the radio range override: the range
+	// is also the spatial index's cell size, so a micrometre range would
+	// explode the cell count.
+	MinRangeM = 10
+	MaxRangeM = 10_000
+)
+
 // Validate checks the spec for structural errors. A valid spec always
-// compiles.
+// compiles — and runs without panicking: besides shape checks (topology
+// and traffic kinds, endpoint ranges), validation enforces the package's
+// sanity bounds on sizes, coordinates, speeds, rates, and durations.
 func (s Spec) Validate() error {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("scenario %q: "+format, append([]any{s.Name}, args...)...)
@@ -226,6 +252,9 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: missing name")
 	}
 	n := s.Topology.NodeCount()
+	if n > MaxNodes {
+		return fail("topology places %d terminals; max %d", n, MaxNodes)
+	}
 	switch s.Topology.Kind {
 	case TopoWaypoint:
 		if s.Topology.N < 2 {
@@ -235,19 +264,36 @@ func (s Spec) Validate() error {
 			return fail("waypoint topology needs a positive field, got %g×%g",
 				s.Topology.Width, s.Topology.Height)
 		}
+		if s.Topology.Width > MaxCoordM || s.Topology.Height > MaxCoordM {
+			return fail("topology.width/height %g×%g exceeds the %d m bound",
+				s.Topology.Width, s.Topology.Height, MaxCoordM)
+		}
 		if s.Topology.MeanSpeedKmh < 0 {
 			return fail("negative mean speed %g", s.Topology.MeanSpeedKmh)
+		}
+		if s.Topology.MeanSpeedKmh > MaxSpeedKmh {
+			return fail("topology.mean_speed_kmh %g exceeds the %d km/h bound",
+				s.Topology.MeanSpeedKmh, MaxSpeedKmh)
 		}
 		if s.Topology.Pause < 0 {
 			return fail("negative pause %v", time.Duration(s.Topology.Pause))
 		}
+		if s.Topology.Pause > MaxDuration {
+			return fail("topology.pause %v exceeds the %v bound",
+				time.Duration(s.Topology.Pause), time.Duration(MaxDuration))
+		}
 	case TopoGrid:
-		if s.Topology.Rows < 1 || s.Topology.Cols < 1 || n < 2 {
-			return fail("grid topology needs rows×cols ≥ 2, got %d×%d",
-				s.Topology.Rows, s.Topology.Cols)
+		if s.Topology.Rows < 1 || s.Topology.Cols < 1 ||
+			s.Topology.Rows > MaxNodes || s.Topology.Cols > MaxNodes || n < 2 || n > MaxNodes {
+			return fail("grid topology needs 2 ≤ rows×cols ≤ %d, got %d×%d",
+				MaxNodes, s.Topology.Rows, s.Topology.Cols)
 		}
 		if s.Topology.Spacing <= 0 {
 			return fail("grid topology needs positive spacing")
+		}
+		if extent := s.Topology.Spacing * float64(max(s.Topology.Rows, s.Topology.Cols)-1); extent > MaxCoordM {
+			return fail("topology.spacing %g m spans %g m; the grid must fit in %d m",
+				s.Topology.Spacing, extent, MaxCoordM)
 		}
 	case TopoChain:
 		if s.Topology.N < 2 {
@@ -255,6 +301,10 @@ func (s Spec) Validate() error {
 		}
 		if s.Topology.Spacing <= 0 {
 			return fail("chain topology needs positive spacing")
+		}
+		if extent := s.Topology.Spacing * float64(s.Topology.N-1); extent > MaxCoordM {
+			return fail("topology.spacing %g m spans %g m; the chain must fit in %d m",
+				s.Topology.Spacing, extent, MaxCoordM)
 		}
 	case TopoClusters:
 		if len(s.Topology.Clusters) == 0 || n < 2 {
@@ -264,10 +314,19 @@ func (s Spec) Validate() error {
 			if c.Count < 1 || c.Radius <= 0 {
 				return fail("cluster %d needs count ≥ 1 and positive radius", i)
 			}
+			if math.Abs(c.X)+c.Radius > MaxCoordM || math.Abs(c.Y)+c.Radius > MaxCoordM {
+				return fail("cluster %d (x=%g y=%g radius=%g) reaches beyond the %d m bound",
+					i, c.X, c.Y, c.Radius, MaxCoordM)
+			}
 		}
 	case TopoStatic:
 		if n < 2 {
 			return fail("static topology needs ≥ 2 positions, got %d", n)
+		}
+		for i, p := range s.Topology.Positions {
+			if math.Abs(p.X) > MaxCoordM || math.Abs(p.Y) > MaxCoordM {
+				return fail("positions[%d] (%g, %g) outside the ±%d m bound", i, p.X, p.Y, MaxCoordM)
+			}
 		}
 	default:
 		return fail("unknown topology kind %q", s.Topology.Kind)
@@ -279,19 +338,28 @@ func (s Spec) Validate() error {
 		if s.Traffic.On <= 0 || s.Traffic.Off <= 0 {
 			return fail("onoff traffic needs positive on and off windows")
 		}
+		if s.Traffic.On > MaxDuration || s.Traffic.Off > MaxDuration {
+			return fail("traffic.on/off windows exceed the %v bound", time.Duration(MaxDuration))
+		}
 	default:
 		return fail("unknown traffic kind %q", s.Traffic.Kind)
 	}
 	if s.Traffic.Rate <= 0 {
 		return fail("traffic rate must be positive, got %g", s.Traffic.Rate)
 	}
+	if s.Traffic.Rate > MaxRate {
+		return fail("traffic.rate %g exceeds the %d packets/s bound", s.Traffic.Rate, MaxRate)
+	}
 	if len(s.Traffic.Pairs) == 0 {
 		if s.Traffic.Flows < 1 {
 			return fail("traffic needs flows ≥ 1 or explicit pairs")
 		}
-		if 2*s.Traffic.Flows > n {
-			return fail("%d disjoint flows need %d terminals, topology has %d",
-				s.Traffic.Flows, 2*s.Traffic.Flows, n)
+		// Flows > n/2 rather than 2*Flows > n: the multiplication would
+		// overflow for absurd (but parseable) flow counts and wave them
+		// through.
+		if s.Traffic.Flows > n/2 {
+			return fail("%d disjoint flows need 2×%d terminals, topology has %d",
+				s.Traffic.Flows, s.Traffic.Flows, n)
 		}
 	}
 	for i, p := range s.Traffic.Pairs {
@@ -307,9 +375,22 @@ func (s Spec) Validate() error {
 			return fail("outage %d window [%v, %v) is empty", i,
 				time.Duration(o.From), time.Duration(o.Until))
 		}
+		if o.From > MaxDuration || o.Until > MaxDuration {
+			return fail("outage %d window exceeds the %v bound", i, time.Duration(MaxDuration))
+		}
 	}
 	if s.RangeM < 0 || s.BufferCap < 0 || s.Duration < 0 {
 		return fail("negative override")
+	}
+	if s.RangeM != 0 && (s.RangeM < MinRangeM || s.RangeM > MaxRangeM) {
+		return fail("range_m %g outside the sane [%d, %d] m window", s.RangeM, MinRangeM, MaxRangeM)
+	}
+	if s.Duration > MaxDuration {
+		return fail("duration %v exceeds the %v bound", time.Duration(s.Duration), time.Duration(MaxDuration))
+	}
+	if s.BufferLifetime < 0 || s.BufferLifetime > MaxDuration {
+		return fail("buffer_lifetime %v outside [0, %v]",
+			time.Duration(s.BufferLifetime), time.Duration(MaxDuration))
 	}
 	return nil
 }

@@ -75,9 +75,12 @@ type Recorder struct {
 }
 
 // NewRecorder builds a recorder keeping the most recent capacity events.
+// Capacity 0 is valid and retains nothing — Events stays empty while
+// Total still counts every offered event — so callers can meter a run
+// without storing its history. Negative capacities panic.
 func NewRecorder(capacity int) *Recorder {
-	if capacity <= 0 {
-		panic("trace: capacity must be positive")
+	if capacity < 0 {
+		panic("trace: capacity must not be negative")
 	}
 	return &Recorder{events: make([]Event, capacity)}
 }
@@ -87,6 +90,9 @@ func (r *Recorder) Record(e Event) {
 	r.total++
 	if r.Filter != nil && !r.Filter(e) {
 		return
+	}
+	if len(r.events) == 0 {
+		return // capacity 0: count, retain nothing
 	}
 	r.events[r.next] = e
 	r.next++

@@ -55,13 +55,68 @@ func TestFilterKeepsCounting(t *testing.T) {
 	}
 }
 
-func TestZeroCapacityPanics(t *testing.T) {
+func TestZeroCapacityCountsWithoutRetaining(t *testing.T) {
+	r := NewRecorder(0)
+	for i := uint64(1); i <= 4; i++ {
+		r.Record(ev(i, time.Duration(i)))
+	}
+	if got := r.Events(); len(got) != 0 {
+		t.Fatalf("capacity-0 recorder retained %d events: %+v", len(got), got)
+	}
+	if r.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", r.Total())
+	}
+}
+
+func TestCapacityOneKeepsOnlyNewest(t *testing.T) {
+	r := NewRecorder(1)
+	// Empty before any event.
+	if got := r.Events(); len(got) != 0 {
+		t.Fatalf("fresh recorder has events: %+v", got)
+	}
+	// One event: retained.
+	r.Record(ev(1, 1))
+	if got := r.Events(); len(got) != 1 || got[0].PacketID != 1 {
+		t.Fatalf("events = %+v, want just id 1", got)
+	}
+	// Every further event wraps the single slot in place.
+	for i := uint64(2); i <= 5; i++ {
+		r.Record(ev(i, time.Duration(i)))
+		got := r.Events()
+		if len(got) != 1 || got[0].PacketID != i {
+			t.Fatalf("after %d records events = %+v, want just id %d", i, got, i)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestExactCapacityBoundary(t *testing.T) {
+	// Exactly filling the ring (no wrap yet) must report all events in
+	// order — the filled/next bookkeeping flips exactly at this point.
+	r := NewRecorder(3)
+	for i := uint64(1); i <= 3; i++ {
+		r.Record(ev(i, time.Duration(i)))
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if got[i].PacketID != want {
+			t.Fatalf("events = %+v, want ids 1,2,3", got)
+		}
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("NewRecorder(0) did not panic")
+			t.Fatal("NewRecorder(-1) did not panic")
 		}
 	}()
-	NewRecorder(0)
+	NewRecorder(-1)
 }
 
 type sink struct {
@@ -118,5 +173,36 @@ func TestEventString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("String() = %q missing %q", s, want)
 		}
+	}
+}
+
+func TestEventStringWithoutDetail(t *testing.T) {
+	e := Event{At: time.Second, Kind: KindControl, Node: 7, PacketType: packet.TypeRREQ, Src: 7, Dst: 9}
+	s := e.String()
+	if strings.Contains(s, "(") {
+		t.Fatalf("detail-less String() = %q should carry no parenthetical", s)
+	}
+	for _, want := range []string{"CTL", "node=7", "7→9"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		KindGenerated:   "GEN",
+		KindDelivered:   "DLV",
+		KindDropped:     "DRP",
+		KindControl:     "CTL",
+		KindControlLost: "CTL-LOST",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind String() = %q, want Kind(99)", got)
 	}
 }

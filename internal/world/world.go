@@ -18,6 +18,7 @@ import (
 	"rica/internal/packet"
 	"rica/internal/routing"
 	"rica/internal/sim"
+	"rica/internal/timeseries"
 	"rica/internal/trace"
 	"rica/internal/traffic"
 )
@@ -73,6 +74,11 @@ type Config struct {
 	// Trace, when non-nil, receives the run's packet-level event history
 	// (bounded by the recorder's capacity).
 	Trace *trace.Recorder
+	// Timeseries, when non-nil, receives the run's interval-bucketed
+	// telemetry: data-plane lifecycle events, control-channel and ACK
+	// transmissions, and route-table churn all flow into it alongside the
+	// aggregate metrics collector.
+	Timeseries *timeseries.Collector
 }
 
 // DefaultConfig returns the paper's simulation environment with the given
@@ -177,14 +183,32 @@ func New(cfg Config, factory AgentFactory) *World {
 		collector.ControlTransmitted(pkt, from, now)
 		meter.ControlTransmitted(pkt, from, now)
 		traceControl(pkt, from, now)
+		if cfg.Timeseries != nil {
+			cfg.Timeseries.ControlTransmitted(pkt, from, now)
+		}
 	}
 	common.OnDropped = collector.ControlDropped
 	data.OnAck = collector.AckTransmitted
+	if ts := cfg.Timeseries; ts != nil {
+		common.OnDropped = func(pkt *packet.Packet, from int, now time.Duration) {
+			collector.ControlDropped(pkt, from, now)
+			ts.ControlDropped(pkt, from, now)
+		}
+		data.OnAck = func(sizeBytes int, now time.Duration) {
+			collector.AckTransmitted(sizeBytes, now)
+			ts.AckTransmitted(sizeBytes, now)
+		}
+	}
 	data.OnDataTransmit = meter.DataTransmitted
 
 	var recorder network.Recorder = collector
 	if cfg.Trace != nil {
 		recorder = trace.WrapRecorder(collector, cfg.Trace)
+	}
+	if cfg.Timeseries != nil {
+		// Outermost wrapper: the node runtime's RouteRecorder type
+		// assertion must see the timeseries tee.
+		recorder = timeseries.WrapRecorder(recorder, cfg.Timeseries)
 	}
 
 	w := &World{

@@ -4,10 +4,14 @@
 //
 // It bundles a deterministic discrete-event wireless network simulator —
 // random-waypoint mobility, a four-class fading channel with CSI hop
-// distances, a CSMA/CA common channel plus CDMA data planes, and
+// distances (neighbourhoods answered from a spatial grid, so dense
+// fields stay fast), a CSMA/CA common channel plus CDMA data planes, and
 // store-and-forward terminals — together with five routing protocols
-// (RICA, BGCA, AODV, ABR, link state) and the experiment harness that
-// regenerates every figure of the paper's evaluation.
+// (RICA, BGCA, AODV, ABR, link state), the experiment harness that
+// regenerates every figure of the paper's evaluation, a declarative
+// scenario catalog with a parallel batch engine, and per-interval
+// telemetry timelines for observing transients (route convergence,
+// failure/heal recovery) that end-of-run aggregates hide.
 //
 // Quick start:
 //
@@ -25,9 +29,21 @@
 //
 //	sweep := rica.Sweep(10, rica.Options{Trials: 5})
 //	fmt.Print(sweep.Table(rica.MetricDelay)) // Figure 2(a)
+//
+// Timelines:
+//
+//	summary, tl := rica.SimulateTimeline(rica.SimConfig{
+//		Protocol: rica.ProtocolRICA, MeanSpeedKmh: 36, Rate: 10,
+//		Duration: 60 * time.Second,
+//		Telemetry: &rica.Telemetry{Interval: time.Second},
+//	})
+//	for _, p := range tl.Points {
+//		fmt.Printf("t=%gs delivery=%.0f%%\n", p.StartS, p.DeliveryRatio*100)
+//	}
 package rica
 
 import (
+	"io"
 	"os"
 	"time"
 
@@ -35,6 +51,7 @@ import (
 	"rica/internal/experiment"
 	"rica/internal/metrics"
 	"rica/internal/scenario"
+	"rica/internal/timeseries"
 	"rica/internal/trace"
 	"rica/internal/traffic"
 	"rica/internal/world"
@@ -89,12 +106,59 @@ type SimConfig struct {
 	// BufferCap overrides the per-link data buffer capacity (paper: 10);
 	// zero keeps the default.
 	BufferCap int
+	// Telemetry, when non-nil, collects an interval-bucketed timeline
+	// during the run. Retrieve it with SimulateTimeline, or set
+	// Telemetry.Sink to stream it; plain Simulate discards an unsunk
+	// timeline.
+	Telemetry *Telemetry
+}
+
+// Telemetry configures per-interval timeline collection for one run.
+type Telemetry struct {
+	// Interval is the bucket width; zero means one second.
+	Interval time.Duration
+	// Sink, when non-nil, receives the finished timeline after the run
+	// (stamped with the protocol and effective seed).
+	Sink TimelineSink
 }
 
 // Simulate runs one simulation and returns its measurements.
 func Simulate(cfg SimConfig) Summary {
-	s, _ := simulate(cfg, nil)
+	s, _, _ := simulate(cfg, nil)
 	return s
+}
+
+// Timeline types: a Timeline is one run's interval series of
+// TimelinePoints; a TimelineSink consumes finished timelines stamped
+// with their TimelineRun coordinates.
+type (
+	Timeline      = timeseries.Timeline
+	TimelinePoint = timeseries.Point
+	TimelineSink  = timeseries.Sink
+	TimelineRun   = timeseries.Run
+)
+
+// MemoryTimelineSink retains emitted timelines in memory for
+// programmatic access (see its Runs field).
+type MemoryTimelineSink = timeseries.MemorySink
+
+// NewJSONLTimelineSink returns a sink writing one JSON object per
+// interval (JSON Lines) to w.
+func NewJSONLTimelineSink(w io.Writer) TimelineSink { return timeseries.NewJSONLSink(w) }
+
+// NewCSVTimelineSink returns a sink writing one CSV row per interval to
+// w, with a header line first.
+func NewCSVTimelineSink(w io.Writer) TimelineSink { return timeseries.NewCSVSink(w) }
+
+// SimulateTimeline runs one simulation and returns its measurements plus
+// the interval telemetry timeline. A nil cfg.Telemetry behaves like
+// &Telemetry{}: one-second buckets, no sink.
+func SimulateTimeline(cfg SimConfig) (Summary, Timeline) {
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = &Telemetry{}
+	}
+	s, tl, _ := simulate(cfg, nil)
+	return s, tl
 }
 
 // TraceEvent is one packet-level event from a traced run.
@@ -110,15 +174,15 @@ const (
 )
 
 // SimulateTraced runs one simulation while recording its packet-level
-// event history (the most recent capacity events), for debugging and
-// demonstrations.
+// event history (the most recent capacity events; capacity 0 retains
+// nothing), for debugging and demonstrations.
 func SimulateTraced(cfg SimConfig, capacity int) (Summary, []TraceEvent) {
 	rec := trace.NewRecorder(capacity)
-	s, _ := simulate(cfg, rec)
+	s, _, _ := simulate(cfg, rec)
 	return s, rec.Events()
 }
 
-func simulate(cfg SimConfig, rec *trace.Recorder) (Summary, *trace.Recorder) {
+func simulate(cfg SimConfig, rec *trace.Recorder) (Summary, Timeline, *trace.Recorder) {
 	wcfg := world.DefaultConfig(cfg.MeanSpeedKmh, cfg.Rate)
 	if cfg.Duration > 0 {
 		wcfg.Duration = cfg.Duration
@@ -133,7 +197,22 @@ func simulate(cfg SimConfig, rec *trace.Recorder) (Summary, *trace.Recorder) {
 		wcfg.Node.BufferCap = cfg.BufferCap
 	}
 	wcfg.Trace = rec
-	return world.New(wcfg, experiment.Factory(cfg.Protocol, cfg.Rate)).Run(), rec
+	if cfg.Telemetry != nil {
+		wcfg.Timeseries = timeseries.NewCollector(cfg.Telemetry.Interval, wcfg.Duration)
+	}
+	summary := world.New(wcfg, experiment.Factory(cfg.Protocol, cfg.Rate)).Run()
+	var tl Timeline
+	if cfg.Telemetry != nil {
+		tl = wcfg.Timeseries.Timeline()
+		if cfg.Telemetry.Sink != nil {
+			run := TimelineRun{Protocol: cfg.Protocol.String(), Seed: wcfg.Seed}
+			// The sink's error has nowhere to surface from Simulate's
+			// signature; sinks that can fail belong in batch runs, which
+			// propagate it.
+			_ = cfg.Telemetry.Sink.Emit(run, tl)
+		}
+	}
+	return summary, tl, rec
 }
 
 // RunConfig describes one experimental cell (a protocol × speed × load
@@ -227,6 +306,11 @@ type (
 	BatchAggregate = batch.Aggregate
 	BatchProgress  = batch.Progress
 )
+
+// BatchTelemetry enables per-cell timeline collection in a batch: set
+// BatchConfig.Telemetry and every scenario×protocol×seed cell emits an
+// interval timeline to the sink, in grid order.
+type BatchTelemetry = batch.Telemetry
 
 // RunBatch expands the grid and executes it across a worker pool sized by
 // BatchConfig.Workers (default: GOMAXPROCS). Cells run deterministic
