@@ -212,11 +212,19 @@ func sizeName(n int) string {
 // executed per wall second for a mid-scale RICA run.
 func BenchmarkSimulationThroughput(b *testing.B) {
 	b.ReportAllocs()
+	var events uint64
+	start := time.Now()
 	for i := 0; i < b.N; i++ {
-		_ = experiment.Run(experiment.RunConfig{
+		r := experiment.Run(experiment.RunConfig{
 			Protocol: experiment.RICA, MeanSpeedKmh: 36, Rate: 10,
 			Duration: 30 * time.Second, Trials: 1, BaseSeed: int64(i + 1),
 		})
+		for _, s := range r.Trials {
+			events += s.Events
+		}
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
 	}
 }
 

@@ -12,6 +12,7 @@
 //	ricasim -scenario chain-10,grid-8x8 -trials 5 -format csv
 //	ricasim -scenario my-spec.json        # a hand-written JSON spec
 //	ricasim -scenario partition-heal -timeline out.jsonl -interval 1s
+//	ricasim -figure 2a -events-per-sec    # append a kernel-throughput summary line
 //
 // Figures: 2a/2b delay, 3a/3b delivery, 4a/4b overhead (a = 10 packets/s,
 // b = 20 packets/s), 5a/5b route quality at 72 km/h, 6a/6b throughput
@@ -49,8 +50,12 @@ func main() {
 		interval    = flag.Duration("interval", time.Second, "telemetry bucket width for -timeline")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this file")
+		eventsRate  = flag.Bool("events-per-sec", false, "print kernel throughput (events simulated per wall-clock second) after the run")
 	)
 	flag.Parse()
+	meter.enabled = *eventsRate
+	meter.start = time.Now()
+	defer meter.print()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -92,6 +97,9 @@ func main() {
 	}()
 
 	if *list {
+		if *eventsRate {
+			fatalf("-events-per-sec needs a run; it cannot meter -list-scenarios")
+		}
 		listScenarios()
 		return
 	}
@@ -144,6 +152,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "running %d-cell sweep at %.0f packets/s (%d trials × %v)...\n",
 				len(opts.Speeds)*len(protocolsOf(opts)), load, opts.Trials, opts.Duration)
 			s := rica.Sweep(load, opts)
+			for _, rows := range s.Cells {
+				for _, r := range rows {
+					meter.addTrials(r.Trials)
+				}
+			}
 			*cache = &s
 		}
 		return **cache
@@ -169,6 +182,9 @@ func main() {
 		if quality == nil {
 			fmt.Fprintln(os.Stderr, "running route-quality cells at 72 km/h...")
 			q := rica.Quality(72, 10, opts)
+			for _, r := range q.Cells {
+				meter.addTrials(r.Trials)
+			}
 			quality = &q
 		}
 		return *quality
@@ -189,6 +205,9 @@ func main() {
 
 	seriesOut := func(load float64) {
 		s := rica.Series(load, rica.Figure6SpeedKmh, opts)
+		for _, r := range s.Cells {
+			meter.addTrials(r.Trials)
+		}
 		switch *format {
 		case "csv":
 			fmt.Println(s.CSV())
@@ -292,6 +311,9 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism int,
 	res, err := rica.RunBatch(cfg)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	for _, c := range res.Cells {
+		meter.events += c.Events
 	}
 	if timelineFile != nil {
 		err := timelineBuf.Flush()
@@ -402,6 +424,37 @@ func parseFloats(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// eventMeter accumulates kernel event counts across every run the command
+// performs, so -events-per-sec can report simulator throughput without a
+// separate benchmark invocation.
+type eventMeter struct {
+	enabled bool
+	start   time.Time
+	events  uint64
+}
+
+var meter eventMeter
+
+// addTrials folds one experiment cell's per-trial summaries in.
+func (m *eventMeter) addTrials(trials []rica.Summary) {
+	for _, s := range trials {
+		m.events += s.Events
+	}
+}
+
+// print emits the summary line when metering is on and something ran.
+func (m *eventMeter) print() {
+	if !m.enabled {
+		return
+	}
+	secs := time.Since(m.start).Seconds()
+	if m.events == 0 || secs <= 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "kernel: %d events in %.2fs wall = %.0f events/sec\n",
+		m.events, secs, float64(m.events)/secs)
 }
 
 // exitHooks finish in-flight profiling. They run (last added first) both

@@ -78,6 +78,9 @@ type CellResult struct {
 	OverheadKbps float64 `json:"overhead_kbps"`
 	GoodputKbps  float64 `json:"goodput_kbps"`
 	AvgHops      float64 `json:"avg_hops"`
+	// Events is the kernel's dispatched-event count for the run —
+	// deterministic, so equal cells export byte-identically.
+	Events uint64 `json:"events"`
 }
 
 // Stat is one metric's cross-trial distribution snapshot.
@@ -240,6 +243,7 @@ func runCell(c cell, tele *Telemetry, tl *timeseries.Timeline) CellResult {
 		OverheadKbps: s.OverheadBps / 1000,
 		GoodputKbps:  s.GoodputBps / 1000,
 		AvgHops:      s.AvgHops,
+		Events:       s.Events,
 	}
 }
 

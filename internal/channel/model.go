@@ -37,31 +37,43 @@ const streamKindChannel = 0x_C4A1
 // a full scan. The per-pair fading streams are untouched by the caching,
 // so results are bit-identical to the uncached scans.
 type Model struct {
-	cfg   Config
-	pos   []Positioner
-	links []*Link // upper-triangular pair index
-	down  func(i int, at time.Duration) bool
-	snap  *snapshot
+	cfg     Config
+	pos     []Positioner
+	links   []*Link // upper-triangular pair index, created lazily
+	streams *sim.Streams
+	down    func(i int, at time.Duration) bool
+	snap    *snapshot
 }
 
 // NewModel builds the channel for n terminals whose positions are given by
 // pos. Each pair's fading process gets an independent deterministic stream
 // from streams.
+//
+// Links are created lazily on first query: a pair's stream is a pure
+// function of (seed, pair index), so the fading sample path is bit-for-bit
+// the same no matter when the link comes into being — and seeding n(n−1)/2
+// generators up front (each a 607-word scramble) was the single largest
+// cost of world construction, paid mostly for pairs that never meet.
 func NewModel(cfg Config, streams *sim.Streams, pos []Positioner) *Model {
 	n := len(pos)
-	m := &Model{
-		cfg:   cfg,
-		pos:   pos,
-		links: make([]*Link, n*(n-1)/2),
-		snap:  newSnapshot(n, cfg.Range),
+	return &Model{
+		cfg:     cfg,
+		pos:     pos,
+		links:   make([]*Link, n*(n-1)/2),
+		streams: streams,
+		snap:    newSnapshot(n, cfg.Range),
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			idx := m.pairIndex(i, j)
-			m.links[idx] = NewLink(&m.cfg, streams.StreamAt(streamKindChannel, uint64(idx)))
-		}
+}
+
+// link fetches (creating on first use) the fading process of pair (i, j).
+func (m *Model) link(i, j int) *Link {
+	idx := m.pairIndex(i, j)
+	l := m.links[idx]
+	if l == nil {
+		l = NewLink(&m.cfg, m.streams.StreamAt(streamKindChannel, uint64(idx)))
+		m.links[idx] = l
 	}
-	return m
+	return l
 }
 
 // N reports the number of terminals.
@@ -101,8 +113,7 @@ func (m *Model) pairIndex(i, j int) int {
 
 // Distance reports the current distance between terminals i and j.
 func (m *Model) Distance(i, j int, at time.Duration) float64 {
-	s := m.sync(at)
-	return m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at))
+	return m.pairDistance(m.sync(at), i, j, at)
 }
 
 // relSpeed bounds the pair's relative speed by the sum of the terminals'
@@ -115,21 +126,20 @@ func (m *Model) relSpeed(s *snapshot, i, j int, at time.Duration) float64 {
 // symmetric: Class(i, j) == Class(j, i) by construction.
 func (m *Model) Class(i, j int, at time.Duration) Class {
 	s := m.sync(at)
-	d := m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at))
+	d := m.pairDistance(s, i, j, at)
 	if m.pairDown(s, i, j, at) {
 		// Radio-silent endpoint: feed the link an out-of-range distance so
 		// its fading process still advances in step with real time.
 		d = m.cfg.Range + 1
 	}
-	return m.links[m.pairIndex(i, j)].ClassAt(d, m.relSpeed(s, i, j, at), at)
+	return m.link(i, j).ClassAt(d, m.relSpeed(s, i, j, at), at)
 }
 
 // SNR reports the instantaneous link SNR in dB (ignoring the range
 // cutoff); exported for diagnostics and tests.
 func (m *Model) SNR(i, j int, at time.Duration) float64 {
 	s := m.sync(at)
-	d := m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at))
-	return m.links[m.pairIndex(i, j)].SNR(d, m.relSpeed(s, i, j, at), at)
+	return m.link(i, j).SNR(m.pairDistance(s, i, j, at), m.relSpeed(s, i, j, at), at)
 }
 
 // InRange reports whether i and j are within radio reception range (and
@@ -139,7 +149,7 @@ func (m *Model) InRange(i, j int, at time.Duration) bool {
 	if m.pairDown(s, i, j, at) {
 		return false
 	}
-	return m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at)) <= m.cfg.Range
+	return m.pairDistance(s, i, j, at) <= m.cfg.Range
 }
 
 // interferenceEps absorbs float rounding in the triangle-inequality
@@ -159,8 +169,7 @@ func (m *Model) Interferes(i, j int, at time.Duration) bool {
 		return true
 	}
 	s := m.sync(at)
-	d := m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at))
-	return d <= 2*m.cfg.Range+interferenceEps
+	return m.pairDistance(s, i, j, at) <= 2*m.cfg.Range+interferenceEps
 }
 
 // Neighbors appends to dst the ids of terminals within radio range of i

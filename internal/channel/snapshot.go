@@ -66,7 +66,7 @@ type snapshot struct {
 	gridAt    time.Duration // instant the grid was built for
 	gridUntil time.Duration // min posUntil across members at build time
 	gridVmax  float64       // max SpeedLimit across mobile members; +Inf if unbounded
-	maxSlack  float64       // drift budget before a rebuild (a quarter cell)
+	maxSlack  float64       // drift budget before a rebuild (a sixteenth of a cell)
 }
 
 func newSnapshot(n int, cell float64) *snapshot {
@@ -74,11 +74,14 @@ func newSnapshot(n int, cell float64) *snapshot {
 		cell = 1 // degenerate configs (tests) still get a working index
 	}
 	return &snapshot{
-		// A quarter-cell drift budget balances rebuild rate against the
-		// widened query area: at the default 250 m range and 10 m/s
-		// MaxSpeed the grid is rebuilt every ~6 virtual seconds while disk
-		// queries grow at most ~26% in area.
-		maxSlack: cell / 4,
+		// The drift budget trades rebuild rate against the width of the
+		// exact-check annulus every stale-grid query must walk. Rebuilds
+		// are O(n) and cheap, while the annulus is paid on every flood
+		// completion's neighbour scan, so a tight budget wins: at the
+		// default 250 m range and 10 m/s MaxSpeed a sixteenth of a cell
+		// rebuilds every ~1.5 virtual seconds and keeps the annulus under
+		// ±16 m.
+		maxSlack: cell / 16,
 		pos:      make([]geom.Point, n),
 		posGen:   make([]uint64, n),
 		posAt:    make([]time.Duration, n),
@@ -89,6 +92,13 @@ func newSnapshot(n int, cell float64) *snapshot {
 		downGen:  make([]uint64, n),
 		grid:     *geom.NewGrid(cell),
 	}
+}
+
+// pairDistance returns the distance between i and j at instant at. The
+// endpoints' positions are memoized per instant; the subtract-and-sqrt on
+// top of them is cheaper than any per-pair stamp table would be.
+func (m *Model) pairDistance(s *snapshot, i, j int, at time.Duration) float64 {
+	return m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at))
 }
 
 // sync points the snapshot at virtual instant at. Same-instant calls are
@@ -106,10 +116,16 @@ func (m *Model) sync(at time.Duration) *snapshot {
 // positionAt returns terminal i's memoized position at instant at,
 // deriving it from the Positioner only when the cache misses. A cached
 // position survives instant changes while its Stabler boundary holds.
+// The hit branch is kept small enough to inline into the range and class
+// probes that dominate the flood hot path.
 func (m *Model) positionAt(s *snapshot, i int, at time.Duration) geom.Point {
 	if s.posGen[i] == s.gen {
 		return s.pos[i]
 	}
+	return m.positionMiss(s, i, at)
+}
+
+func (m *Model) positionMiss(s *snapshot, i int, at time.Duration) geom.Point {
 	if s.posGen[i] != 0 && s.posAt[i] <= at && at < s.posUntil[i] {
 		s.posGen[i] = s.gen // still stable: revalidate for this instant
 		return s.pos[i]
@@ -128,15 +144,20 @@ func (m *Model) positionAt(s *snapshot, i int, at time.Duration) geom.Point {
 
 // speedAt returns terminal i's memoized instantaneous speed at at.
 func (m *Model) speedAt(s *snapshot, i int, at time.Duration) float64 {
-	if s.speedGen[i] != s.gen {
-		v := 0.0
-		if sp, ok := m.pos[i].(Speeder); ok {
-			v = sp.Speed(at)
-		}
-		s.speed[i] = v
-		s.speedGen[i] = s.gen
+	if s.speedGen[i] == s.gen {
+		return s.speed[i]
 	}
-	return s.speed[i]
+	return m.speedMiss(s, i, at)
+}
+
+func (m *Model) speedMiss(s *snapshot, i int, at time.Duration) float64 {
+	v := 0.0
+	if sp, ok := m.pos[i].(Speeder); ok {
+		v = sp.Speed(at)
+	}
+	s.speed[i] = v
+	s.speedGen[i] = s.gen
+	return v
 }
 
 // downAt returns terminal i's memoized outage flag at at.
@@ -144,10 +165,11 @@ func (m *Model) downAt(s *snapshot, i int, at time.Duration) bool {
 	if m.down == nil {
 		return false
 	}
-	if s.downGen[i] != s.gen {
-		s.down[i] = m.down(i, at)
-		s.downGen[i] = s.gen
+	if s.downGen[i] == s.gen {
+		return s.down[i]
 	}
+	s.down[i] = m.down(i, at)
+	s.downGen[i] = s.gen
 	return s.down[i]
 }
 

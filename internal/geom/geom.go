@@ -23,8 +23,13 @@ func (p Point) Sub(q Point) Vector { return Vector{p.X - q.X, p.Y - q.Y} }
 func (p Point) Add(v Vector) Point { return Point{p.X + v.X, p.Y + v.Y} }
 
 // DistanceTo reports the Euclidean distance in metres between p and q.
+// Field coordinates are bounded (kilometres, not 1e150), so the naive
+// square-and-root form is safe from overflow and ~5× faster than
+// math.Hypot's scaling dance; this is the hottest arithmetic in the
+// simulator (every carrier-sense, range and class probe lands here).
 func (p Point) DistanceTo(q Point) float64 {
-	return math.Hypot(p.X-q.X, p.Y-q.Y)
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
 }
 
 // Lerp linearly interpolates between p (frac = 0) and q (frac = 1).

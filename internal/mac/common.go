@@ -79,6 +79,20 @@ type CommonChannel struct {
 	nbuf     []int           // reusable neighbour scratch for broadcast delivery
 	obuf     []*transmission // reusable overlap-set scratch for one completion
 
+	// Per-packet timers ride the kernel's closure-free fast path: the
+	// event carries a slot index into these arenas instead of a captured
+	// closure. txfree recycles transmission records once pruned.
+	txSlots   []*transmission  // in-flight transmissions awaiting completion
+	txSlotsFS []int            // free slot indices
+	deferred  []*packet.Packet // packets waiting out a backoff, by slot
+	defFS     []int
+	txfree    []*transmission
+	scratch   *packet.Packet // reusable delivery copy (see deliver)
+	// completeFn and retryFn are the bound method values scheduled on the
+	// fast path, built once in NewCommonChannel.
+	completeFn sim.ArgHandler
+	retryFn    sim.ArgHandler
+
 	// maxAir is the longest airtime put on this channel so far. It bounds
 	// how long a finished transmission stays relevant: a completion at time
 	// t checks overlap against [start, end] with start ≥ t − maxAir, so
@@ -100,12 +114,15 @@ type CommonChannel struct {
 // NewCommonChannel builds the channel for the terminals covered by model.
 // rng drives backoff jitter and must be a dedicated stream.
 func NewCommonChannel(kernel *sim.Kernel, model LinkOracle, rng *rand.Rand) *CommonChannel {
-	return &CommonChannel{
+	c := &CommonChannel{
 		kernel:   kernel,
 		model:    model,
 		rng:      rng,
 		handlers: make([]ReceiveFunc, model.N()),
 	}
+	c.completeFn = c.completeSlot
+	c.retryFn = c.retrySlot
+	return c
 }
 
 // Register installs the receive handler for terminal id. Every terminal
@@ -122,6 +139,10 @@ func (c *CommonChannel) Register(id int, h ReceiveFunc) {
 // unicasts only to pkt.To, though both occupy the air identically.
 // Delivery is best-effort: collisions and repeated busy channel lose the
 // packet silently, exactly the failure mode ad hoc routing must tolerate.
+//
+// Send takes ownership of pkt: a pooled packet is Released once the
+// transmission completes or is dropped, and every receiver is handed a
+// short-lived pooled copy it must Retain (or Clone) to keep.
 func (c *CommonChannel) Send(pkt *packet.Packet) {
 	c.attempt(pkt, 0)
 }
@@ -133,11 +154,11 @@ func (c *CommonChannel) attempt(pkt *packet.Packet, tries int) {
 			if c.OnDropped != nil {
 				c.OnDropped(pkt, pkt.From, now)
 			}
+			pkt.Release()
 			return
 		}
-		c.kernel.Schedule(c.backoff(tries), func(time.Duration) {
-			c.attempt(pkt, tries+1)
-		})
+		slot := c.deferSlot(pkt)
+		c.kernel.ScheduleArg(c.backoff(tries), c.retryFn, slot, tries+1)
 		return
 	}
 
@@ -145,14 +166,64 @@ func (c *CommonChannel) attempt(pkt *packet.Packet, tries int) {
 	if airtime > c.maxAir {
 		c.maxAir = airtime
 	}
-	tx := &transmission{from: pkt.From, start: now, end: now + airtime, pkt: pkt}
+	tx := c.allocTx()
+	tx.from, tx.start, tx.end, tx.pkt = pkt.From, now, now+airtime, pkt
 	c.active = append(c.active, tx)
 	if c.OnTransmit != nil {
 		c.OnTransmit(pkt, pkt.From, now)
 	}
-	c.kernel.Schedule(airtime, func(end time.Duration) {
-		c.complete(tx, end)
-	})
+	c.kernel.ScheduleArg(airtime, c.completeFn, c.txSlot(tx), 0)
+}
+
+// retrySlot resumes a backed-off attempt (the ScheduleArg fast path).
+func (c *CommonChannel) retrySlot(_ time.Duration, slot, tries int) {
+	pkt := c.deferred[slot]
+	c.deferred[slot] = nil
+	c.defFS = append(c.defFS, slot)
+	c.attempt(pkt, tries)
+}
+
+// completeSlot finishes the transmission parked in slot.
+func (c *CommonChannel) completeSlot(now time.Duration, slot, _ int) {
+	tx := c.txSlots[slot]
+	c.txSlots[slot] = nil
+	c.txSlotsFS = append(c.txSlotsFS, slot)
+	c.complete(tx, now)
+}
+
+// deferSlot parks pkt in the backoff arena and returns its slot index.
+func (c *CommonChannel) deferSlot(pkt *packet.Packet) int {
+	if n := len(c.defFS); n > 0 {
+		slot := c.defFS[n-1]
+		c.defFS = c.defFS[:n-1]
+		c.deferred[slot] = pkt
+		return slot
+	}
+	c.deferred = append(c.deferred, pkt)
+	return len(c.deferred) - 1
+}
+
+// txSlot parks tx in the completion arena and returns its slot index.
+func (c *CommonChannel) txSlot(tx *transmission) int {
+	if n := len(c.txSlotsFS); n > 0 {
+		slot := c.txSlotsFS[n-1]
+		c.txSlotsFS = c.txSlotsFS[:n-1]
+		c.txSlots[slot] = tx
+		return slot
+	}
+	c.txSlots = append(c.txSlots, tx)
+	return len(c.txSlots) - 1
+}
+
+// allocTx recycles a pruned transmission record or allocates a fresh one.
+func (c *CommonChannel) allocTx() *transmission {
+	if n := len(c.txfree); n > 0 {
+		tx := c.txfree[n-1]
+		c.txfree[n-1] = nil
+		c.txfree = c.txfree[:n-1]
+		return tx
+	}
+	return &transmission{}
 }
 
 // backoff draws an unslotted binary-exponential backoff delay.
@@ -188,7 +259,7 @@ func (c *CommonChannel) complete(tx *transmission, now time.Duration) {
 			c.model.InRange(tx.from, to, now) {
 			c.overlaps(tx, now)
 			if !c.collidedAt(to, now) {
-				c.handlers[to](tx.pkt.Clone(), now)
+				c.deliver(to, tx.pkt, now)
 			}
 		}
 	} else if c.nbuf = c.model.Neighbors(tx.from, now, c.nbuf[:0]); len(c.nbuf) > 0 {
@@ -197,10 +268,34 @@ func (c *CommonChannel) complete(tx *transmission, now time.Duration) {
 			if c.handlers[j] == nil || c.collidedAt(j, now) {
 				continue
 			}
-			c.handlers[j](tx.pkt.Clone(), now)
+			c.deliver(j, tx.pkt, now)
 		}
 	}
+	// The on-air packet is dead: deliveries got their own copies and the
+	// overlap bookkeeping only needs the transmission's time window.
+	tx.pkt.Release()
+	tx.pkt = nil
 	c.prune(now)
+}
+
+// deliver hands receiver j its own pooled, mutable copy of pkt. The copy
+// is reclaimed as soon as the handler returns — a handler keeping the
+// packet must Retain or Clone it — so the whole fan-out reuses a single
+// channel-local scratch record instead of allocating per receiver (or
+// even cycling the shared pool per receiver).
+func (c *CommonChannel) deliver(j int, pkt *packet.Packet, now time.Duration) {
+	cp := c.scratch
+	c.scratch = nil
+	if cp == nil {
+		cp = packet.Get()
+	}
+	cp.CopyFrom(pkt)
+	c.handlers[j](cp, now)
+	if cp.Sole() {
+		c.scratch = cp // nobody retained it: keep it for the next delivery
+	} else {
+		cp.Release()
+	}
 }
 
 // overlaps fills c.obuf with the transmissions relevant to tx's receivers:
@@ -247,9 +342,12 @@ func (c *CommonChannel) prune(now time.Duration) {
 	for _, tx := range c.active {
 		if tx.end+c.maxAir > now {
 			keep = append(keep, tx)
+		} else {
+			*tx = transmission{}
+			c.txfree = append(c.txfree, tx)
 		}
 	}
-	// Clear the tail so completed transmissions can be collected.
+	// Clear the tail so recycled transmissions are not referenced twice.
 	for i := len(keep); i < len(c.active); i++ {
 		c.active[i] = nil
 	}

@@ -32,6 +32,17 @@ type DataPlane struct {
 	model    LinkOracle
 	handlers []DeliverFunc
 
+	// In-flight exchange arena: per-packet timers carry a slot index on
+	// the kernel's closure-free fast path, and finished exchange records
+	// are recycled through xfree.
+	x     []*exchange
+	xFS   []int
+	xfree []*exchange
+	// Bound phase handlers, built once in NewDataPlane.
+	blindFn  sim.ArgHandler
+	arriveFn sim.ArgHandler
+	ackFn    sim.ArgHandler
+
 	// MaxRetries is how many times a transmission that lost its receiver
 	// mid-flight is retried before the link is declared broken.
 	MaxRetries int
@@ -48,12 +59,26 @@ type DataPlane struct {
 
 // NewDataPlane builds the data plane over the given channel model.
 func NewDataPlane(kernel *sim.Kernel, model LinkOracle) *DataPlane {
-	return &DataPlane{
+	d := &DataPlane{
 		kernel:     kernel,
 		model:      model,
 		handlers:   make([]DeliverFunc, model.N()),
 		MaxRetries: 1,
 	}
+	d.blindFn = d.blindTimedOut
+	d.arriveFn = d.arrive
+	d.ackFn = d.ackDone
+	return d
+}
+
+// exchange is one in-flight data transmission: the state the per-attempt
+// timers would otherwise capture in closures.
+type exchange struct {
+	from, to int
+	tries    int
+	pkt      *packet.Packet
+	done     func(SendResult)
+	class    channel.Class
 }
 
 // Register installs the data delivery handler for terminal id.
@@ -80,63 +105,114 @@ func (d *DataPlane) Send(from, to int, pkt *packet.Packet, done func(SendResult)
 	if from == to {
 		panic("mac: data send to self")
 	}
-	d.attempt(from, to, pkt, 0, done)
+	x := d.allocX()
+	x.from, x.to, x.pkt, x.done = from, to, pkt, done
+	d.attempt(x, d.parkX(x))
 }
 
 // ackTimeout is how long a sender waits for the per-hop ACK before
 // declaring the attempt failed.
 const ackTimeout = 10 * time.Millisecond
 
-func (d *DataPlane) attempt(from, to int, pkt *packet.Packet, tries int, done func(SendResult)) {
+func (d *DataPlane) attempt(x *exchange, slot int) {
 	now := d.kernel.Now()
-	class := d.model.Class(from, to, now)
+	x.class = d.model.Class(x.from, x.to, now)
 	if d.OnDataTransmit != nil {
-		d.OnDataTransmit(from, to, class, pkt.Size, now)
+		d.OnDataTransmit(x.from, x.to, x.class, x.pkt.Size, now)
 	}
-	if !class.Usable() {
+	if !x.class.Usable() {
 		// The receiver is gone, but the sender cannot know that yet: it
 		// transmits blind at the most robust rate and only concludes
 		// failure when no ACK arrives. This detection latency is what
 		// stalls a queue behind a broken link.
-		blind := channel.ClassD.TransmitDuration(pkt.Size) + ackTimeout
-		d.kernel.Schedule(blind, func(time.Duration) {
-			if tries < d.MaxRetries {
-				d.attempt(from, to, pkt, tries+1, done)
-				return
-			}
-			done(SendResult{OK: false, Class: channel.ClassNone})
-		})
+		blind := channel.ClassD.TransmitDuration(x.pkt.Size) + ackTimeout
+		d.kernel.ScheduleArg(blind, d.blindFn, slot, 0)
 		return
 	}
-	txDur := class.TransmitDuration(pkt.Size)
-	d.kernel.Schedule(txDur, func(arrival time.Duration) {
-		if !d.model.InRange(from, to, arrival) {
-			// Receiver moved out mid-transmission.
-			if tries < d.MaxRetries {
-				d.attempt(from, to, pkt, tries+1, done)
-				return
-			}
-			done(SendResult{OK: false, Class: class})
+	txDur := x.class.TransmitDuration(x.pkt.Size)
+	d.kernel.ScheduleArg(txDur, d.arriveFn, slot, 0)
+}
+
+// blindTimedOut ends one blind attempt into a dead link.
+func (d *DataPlane) blindTimedOut(_ time.Duration, slot, _ int) {
+	x := d.x[slot]
+	if x.tries < d.MaxRetries {
+		x.tries++
+		d.attempt(x, slot)
+		return
+	}
+	d.finish(x, slot, SendResult{OK: false, Class: channel.ClassNone})
+}
+
+// arrive completes a transmission's airtime at the receiver.
+func (d *DataPlane) arrive(arrival time.Duration, slot, _ int) {
+	x := d.x[slot]
+	if !d.model.InRange(x.from, x.to, arrival) {
+		// Receiver moved out mid-transmission.
+		if x.tries < d.MaxRetries {
+			x.tries++
+			d.attempt(x, slot)
 			return
 		}
-		// Delivery succeeded; the short reverse-code ACK completes the
-		// exchange. ACK loss is not modelled separately (the data-arrival
-		// range check covers the vulnerable window) but its airtime both
-		// counts as overhead and occupies the exchange.
-		if d.OnAck != nil {
-			d.OnAck(packet.SizeAck, arrival)
-		}
-		// Per-hop quality trace for the paper's route-quality figures:
-		// hops taken, per-hop class throughputs, and CSI hop distances.
-		pkt.TraversedHops++
-		pkt.TraversedBps += class.ThroughputBps()
-		pkt.TraversedCSI += class.HopDistance()
-		if h := d.handlers[to]; h != nil {
-			h(pkt, arrival)
-		}
-		ackDur := class.TransmitDuration(packet.SizeAck)
-		d.kernel.Schedule(ackDur, func(time.Duration) {
-			done(SendResult{OK: true, Class: class})
-		})
-	})
+		d.finish(x, slot, SendResult{OK: false, Class: x.class})
+		return
+	}
+	// Delivery succeeded; the short reverse-code ACK completes the
+	// exchange. ACK loss is not modelled separately (the data-arrival
+	// range check covers the vulnerable window) but its airtime both
+	// counts as overhead and occupies the exchange.
+	if d.OnAck != nil {
+		d.OnAck(packet.SizeAck, arrival)
+	}
+	// Per-hop quality trace for the paper's route-quality figures:
+	// hops taken, per-hop class throughputs, and CSI hop distances.
+	x.pkt.TraversedHops++
+	x.pkt.TraversedBps += x.class.ThroughputBps()
+	x.pkt.TraversedCSI += x.class.HopDistance()
+	if h := d.handlers[x.to]; h != nil {
+		h(x.pkt, arrival)
+	}
+	ackDur := x.class.TransmitDuration(packet.SizeAck)
+	d.kernel.ScheduleArg(ackDur, d.ackFn, slot, 0)
+}
+
+// ackDone closes a successful exchange after the ACK's airtime.
+func (d *DataPlane) ackDone(_ time.Duration, slot, _ int) {
+	x := d.x[slot]
+	d.finish(x, slot, SendResult{OK: true, Class: x.class})
+}
+
+// finish reports the outcome and recycles the exchange record. The record
+// is freed before done runs so the callback can start the next exchange
+// without growing the arena.
+func (d *DataPlane) finish(x *exchange, slot int, res SendResult) {
+	done := x.done
+	d.x[slot] = nil
+	d.xFS = append(d.xFS, slot)
+	*x = exchange{}
+	d.xfree = append(d.xfree, x)
+	done(res)
+}
+
+// allocX recycles or allocates an exchange record.
+func (d *DataPlane) allocX() *exchange {
+	if n := len(d.xfree); n > 0 {
+		x := d.xfree[n-1]
+		d.xfree[n-1] = nil
+		d.xfree = d.xfree[:n-1]
+		return x
+	}
+	return &exchange{}
+}
+
+// parkX files x in the slot arena and returns its index.
+func (d *DataPlane) parkX(x *exchange) int {
+	if n := len(d.xFS); n > 0 {
+		slot := d.xFS[n-1]
+		d.xFS = d.xFS[:n-1]
+		d.x[slot] = x
+		return slot
+	}
+	d.x = append(d.x, x)
+	return len(d.x) - 1
 }

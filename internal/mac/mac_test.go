@@ -80,34 +80,43 @@ func TestCommonUnicastOnlyTarget(t *testing.T) {
 	}
 }
 
-func TestReceiversGetIndependentClones(t *testing.T) {
+func TestReceiversGetIndependentCopies(t *testing.T) {
 	k, m := testSetup(fixedPos{X: 0, Y: 0}, fixedPos{X: 100, Y: 0}, fixedPos{X: 150, Y: 0})
 	c := NewCommonChannel(k, m, rand.New(rand.NewSource(1)))
 	c.Register(0, func(*packet.Packet, time.Duration) {})
-	seen := make(chan *packet.Packet, 2)
-	for i := 1; i <= 2; i++ {
-		c.Register(i, func(p *packet.Packet, now time.Duration) {
-			p.HopCount += 5 // receivers mutate their copy
-			seen <- p
-		})
-	}
+	// Each receiver mutates the copy it is handed. Receiver 1 additionally
+	// Retains its copy (the contract for keeping a packet past the handler
+	// return); receiver 2's mutation must not reach it.
+	var kept *packet.Packet
+	var seenHops []float64
+	c.Register(1, func(p *packet.Packet, now time.Duration) {
+		seenHops = append(seenHops, p.HopCount)
+		p.HopCount += 5
+		p.Retain()
+		kept = p
+	})
+	c.Register(2, func(p *packet.Packet, now time.Duration) {
+		seenHops = append(seenHops, p.HopCount)
+		p.HopCount += 7
+	})
 	orig := ctrlPkt(packet.TypeRREQ, 0, packet.Broadcast)
 	c.Send(orig)
 	k.Run(time.Second)
-	close(seen)
-	var clones []*packet.Packet
-	for p := range seen {
-		clones = append(clones, p)
+	if len(seenHops) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(seenHops))
 	}
-	if len(clones) != 2 {
-		t.Fatalf("deliveries = %d, want 2", len(clones))
+	for i, h := range seenHops {
+		if h != 0 {
+			t.Fatalf("receiver %d saw HopCount %v at delivery; another copy's mutation leaked in", i+1, h)
+		}
 	}
-	if clones[0] == clones[1] || clones[0] == orig {
-		t.Fatal("receivers shared a packet instance")
+	if kept == nil || kept.HopCount != 5 {
+		t.Fatalf("retained copy HopCount = %v, want the retainer's own mutation 5", kept.HopCount)
 	}
 	if orig.HopCount != 0 {
 		t.Fatal("receiver mutation leaked into the original packet")
 	}
+	kept.Release()
 }
 
 // TestCarrierSenseSerializes verifies two in-range senders do not overlap:

@@ -43,11 +43,13 @@ type Collector struct {
 	maxHops       int
 	deliveredBits int64
 
-	controlBits   int64
-	ackBits       int64
-	controlPkts   int64
-	controlDrop   int64
-	controlByType map[packet.Type]int64
+	controlBits int64
+	ackBits     int64
+	controlPkts int64
+	controlDrop int64
+	// controlByType is indexed by packet.Type (a small dense enum): a map
+	// here costs a hashed assign per transmitted control packet.
+	controlByType [16]int64
 
 	delays []time.Duration // per-delivery samples for percentiles
 
@@ -70,11 +72,10 @@ var _ network.Recorder = (*Collector)(nil)
 func NewCollector(horizon time.Duration) *Collector {
 	nBuckets := int(horizon/BucketSize) + 1
 	return &Collector{
-		horizon:       horizon,
-		dropped:       make(map[network.DropReason]int),
-		buckets:       make([]int64, nBuckets),
-		controlByType: make(map[packet.Type]int64),
-		flows:         make(map[flowKey]*flowStats),
+		horizon: horizon,
+		dropped: make(map[network.DropReason]int),
+		buckets: make([]int64, nBuckets),
+		flows:   make(map[flowKey]*flowStats),
 	}
 }
 
@@ -132,7 +133,9 @@ func (c *Collector) DataDropped(pkt *packet.Packet, reason network.DropReason, _
 func (c *Collector) ControlTransmitted(pkt *packet.Packet, _ int, _ time.Duration) {
 	c.controlBits += int64(pkt.Size * 8)
 	c.controlPkts++
-	c.controlByType[pkt.Type]++
+	if t := int(pkt.Type); t >= 0 && t < len(c.controlByType) {
+		c.controlByType[t]++
+	}
 }
 
 // ControlDropped observes a routing packet abandoned to congestion (wire
@@ -191,6 +194,11 @@ type Summary struct {
 	Energy EnergyStats
 	// GoodputBps is delivered data bits / simulated seconds.
 	GoodputBps float64
+	// Events is the number of kernel events the run dispatched — the
+	// denominator-free half of the simulator's events-per-second
+	// throughput figure (deterministic: equal runs report equal counts).
+	// Populated by the world layer, not the collector.
+	Events uint64
 	// ThroughputSeries is delivered bits per 4 s bucket converted to bits
 	// per second (Figure 6's curve).
 	ThroughputSeries []float64
@@ -208,9 +216,11 @@ func (c *Collector) Summary() Summary {
 	for k, v := range c.dropped {
 		s.Dropped[k] = v
 	}
-	s.ControlByType = make(map[packet.Type]int64, len(c.controlByType))
-	for k, v := range c.controlByType {
-		s.ControlByType[k] = v
+	s.ControlByType = make(map[packet.Type]int64)
+	for t, v := range c.controlByType {
+		if v != 0 {
+			s.ControlByType[packet.Type(t)] = v
+		}
 	}
 	if c.delivered > 0 {
 		s.AvgDelay = c.delaySum / time.Duration(c.delivered)

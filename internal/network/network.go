@@ -109,7 +109,11 @@ type Env interface {
 	// Now is the current virtual time.
 	Now() time.Duration
 	// Schedule runs fn after d; the returned timer can cancel it.
-	Schedule(d time.Duration, fn func(now time.Duration)) *sim.Timer
+	Schedule(d time.Duration, fn func(now time.Duration)) sim.Timer
+	// ScheduleArg is the allocation-free flavour of Schedule: fn receives
+	// a0 and a1 back verbatim instead of capturing state in a closure.
+	// Per-packet timers should ride this path; see sim.Kernel.ScheduleArg.
+	ScheduleArg(d time.Duration, fn sim.ArgHandler, a0, a1 int) sim.Timer
 	// SendControl transmits a routing packet on the common channel,
 	// stamping pkt.From with this terminal's id.
 	SendControl(pkt *packet.Packet)

@@ -39,7 +39,8 @@ type Node struct {
 	cfg    NodeConfig
 	agent  Agent
 
-	queues map[int]*linkQueue
+	queues   map[int]*linkQueue
+	drainBuf []queued // reusable scratch for linkFailed backlog re-presentation
 }
 
 var _ Env = (*Node)(nil)
@@ -128,8 +129,13 @@ func (nd *Node) NumNodes() int { return nd.n }
 func (nd *Node) Now() time.Duration { return nd.kernel.Now() }
 
 // Schedule implements Env.
-func (nd *Node) Schedule(d time.Duration, fn func(now time.Duration)) *sim.Timer {
+func (nd *Node) Schedule(d time.Duration, fn func(now time.Duration)) sim.Timer {
 	return nd.kernel.Schedule(d, fn)
+}
+
+// ScheduleArg implements Env.
+func (nd *Node) ScheduleArg(d time.Duration, fn sim.ArgHandler, a0, a1 int) sim.Timer {
+	return nd.kernel.ScheduleArg(d, fn, a0, a1)
 }
 
 // SendControl implements Env.
@@ -176,6 +182,20 @@ func (nd *Node) EnqueueData(pkt *packet.Packet, next int) {
 	q := nd.queues[next]
 	if q == nil {
 		q = &linkQueue{}
+		// One completion callback per queue, built once: every data send on
+		// this link reuses it, so the steady-state forwarding path does not
+		// allocate a closure per packet.
+		q.done = func(res mac.SendResult) {
+			head, _ := q.pop()
+			q.busy = false
+			if !res.OK {
+				nd.linkFailed(next, q, head.pkt)
+				return
+			}
+			if q.len() > 0 {
+				nd.serve(next, q)
+			}
+		}
 		nd.queues[next] = q
 	}
 	if q.len() >= nd.cfg.BufferCap {
@@ -227,17 +247,7 @@ func (nd *Node) serve(next int, q *linkQueue) {
 	pkt := head.pkt
 	pkt.From = nd.id
 	pkt.To = next
-	nd.data.Send(nd.id, next, pkt, func(res mac.SendResult) {
-		q.pop()
-		q.busy = false
-		if !res.OK {
-			nd.linkFailed(next, q, pkt)
-			return
-		}
-		if q.len() > 0 {
-			nd.serve(next, q)
-		}
-	})
+	nd.data.Send(nd.id, next, pkt, q.done)
 }
 
 // linkFailed hands the failed packet to the agent, then re-presents every
@@ -247,8 +257,10 @@ func (nd *Node) linkFailed(next int, q *linkQueue, failed *packet.Packet) {
 	now := nd.kernel.Now()
 	// Drain before notifying the agent: LinkFailed may synchronously
 	// enqueue onto this same queue (restarting its server), and the drain
-	// must not steal that new in-flight packet.
-	backlog := q.drain()
+	// must not steal that new in-flight packet. The node-level scratch is
+	// safe to reuse: re-presentation never nests another synchronous
+	// linkFailed (data-plane failures only arrive via scheduled events).
+	backlog := q.drainInto(nd.drainBuf[:0])
 	nd.agent.LinkFailed(next, failed, now)
 	for _, entry := range backlog {
 		if now-entry.at > nd.cfg.BufferLifetime {
@@ -257,6 +269,10 @@ func (nd *Node) linkFailed(next int, q *linkQueue, failed *packet.Packet) {
 		}
 		nd.agent.RouteData(entry.pkt, now)
 	}
+	for i := range backlog {
+		backlog[i] = queued{} // release packet references
+	}
+	nd.drainBuf = backlog[:0]
 }
 
 // queued is one buffered data packet with its enqueue time.
@@ -266,15 +282,29 @@ type queued struct {
 }
 
 // linkQueue is a FIFO ring over a slice; head compaction is amortized.
+// done is the queue's reusable data-plane completion callback.
 type linkQueue struct {
 	items []queued
 	head  int
 	busy  bool
+	done  func(mac.SendResult)
 }
 
 func (q *linkQueue) len() int { return len(q.items) - q.head }
 
-func (q *linkQueue) push(e queued) { q.items = append(q.items, e) }
+func (q *linkQueue) push(e queued) {
+	if q.head > 0 && len(q.items) == cap(q.items) {
+		// Reclaim the popped prefix instead of growing: the buffer cap
+		// bounds the live window, so after warmup pushes never allocate.
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = queued{}
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	q.items = append(q.items, e)
+}
 
 func (q *linkQueue) peek() (queued, bool) {
 	if q.len() == 0 {
@@ -298,14 +328,14 @@ func (q *linkQueue) pop() (queued, bool) {
 	return e, true
 }
 
-// drain removes and returns all queued entries.
-func (q *linkQueue) drain() []queued {
-	out := make([]queued, 0, q.len())
+// drainInto removes all queued entries, appending them to dst (reused
+// across calls to avoid a per-failure allocation).
+func (q *linkQueue) drainInto(dst []queued) []queued {
 	for {
 		e, ok := q.pop()
 		if !ok {
-			return out
+			return dst
 		}
-		out = append(out, e)
+		dst = append(dst, e)
 	}
 }

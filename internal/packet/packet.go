@@ -11,6 +11,7 @@ package packet
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -173,14 +174,88 @@ type Packet struct {
 
 	// Payload carries protocol-specific content (e.g. LSA link lists).
 	Payload any
+
+	// pooled and refs implement the reuse protocol below; they ride along
+	// at the end of the struct and are never copied by CopyFrom.
+	pooled bool
+	refs   int32
 }
+
+// Packet reuse. The broadcast fan-out in the MAC layer hands every
+// receiver its own mutable copy of the on-air packet; at fifty terminals
+// that is the single largest allocation source in a run. Packets therefore
+// come from a pool with a small reference-count protocol:
+//
+//   - Get returns a zeroed pooled packet holding one reference.
+//   - Clone returns a pooled copy of any packet, holding one reference.
+//   - Release drops a reference; at zero the packet returns to the pool.
+//   - Retain adds a reference — a control handler that wants to keep the
+//     packet it was handed beyond the call must Retain (or Clone) it,
+//     because the MAC layer Releases delivery copies as soon as the
+//     handler returns.
+//
+// Packets built with a plain composite literal are not pooled: Retain and
+// Release are no-ops on them, so tests and cold paths keep ordinary GC
+// semantics, and a pooled packet that is never Released is simply
+// collected. Only explicitly Released packets are ever reused.
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// Get returns a zeroed packet from the pool holding one reference.
+func Get() *Packet {
+	p := pool.Get().(*Packet)
+	*p = Packet{pooled: true, refs: 1}
+	return p
+}
+
+// CopyFrom overwrites p's packet fields with src's, preserving p's own
+// pool membership and reference count.
+func (p *Packet) CopyFrom(src *Packet) {
+	pooled, refs := p.pooled, p.refs
+	*p = *src
+	p.pooled, p.refs = pooled, refs
+}
+
+// Retain adds a reference to a pooled packet; no-op otherwise.
+func (p *Packet) Retain() {
+	if p.pooled {
+		p.refs++
+	}
+}
+
+// Release drops a reference; the last one returns the packet to the pool.
+// Releasing a non-pooled packet is a no-op; releasing a pooled packet more
+// often than it was retained panics, because the slot may already belong
+// to another owner.
+func (p *Packet) Release() {
+	if !p.pooled {
+		return
+	}
+	p.refs--
+	if p.refs > 0 {
+		return
+	}
+	if p.refs < 0 {
+		panic("packet: Release of an already-freed packet")
+	}
+	*p = Packet{}
+	pool.Put(p)
+}
+
+// Sole reports whether the caller's reference is the only one on this
+// pooled packet — i.e. nobody Retained it. The MAC delivery loop uses it
+// to keep its working copy as a private scratch instead of cycling it
+// through the shared pool.
+func (p *Packet) Sole() bool { return p.pooled && p.refs == 1 }
 
 // Clone returns a shallow copy; rebroadcast paths copy the packet so each
 // hop can edit TTL/HopCount without aliasing the original. Payload is
-// shared — protocols treat payloads as immutable once attached.
+// shared — protocols treat payloads as immutable once attached. The copy
+// is pooled (one reference): callers that hand it to the MAC layer get
+// automatic reuse, and callers that drop it leave it to the collector.
 func (p *Packet) Clone() *Packet {
-	q := *p
-	return &q
+	q := Get()
+	q.CopyFrom(p)
+	return q
 }
 
 // FloodKey identifies a flood instance for duplicate suppression tables.

@@ -79,7 +79,12 @@ func TestCloneIsIndependentShallowCopy(t *testing.T) {
 		HopCount: 3.33, GeoHops: 2,
 	}
 	q := p.Clone()
-	if *q != *p {
+	if !q.pooled || q.refs != 1 {
+		t.Fatalf("clone pool state = (%v, %d), want a pooled packet with one reference", q.pooled, q.refs)
+	}
+	cmp := *q
+	cmp.pooled, cmp.refs = p.pooled, p.refs // pool bookkeeping is not packet identity
+	if cmp != *p {
 		t.Fatal("clone differs from original")
 	}
 	q.HopCount = 99
@@ -117,4 +122,50 @@ func TestFloodKeyDedupesRebroadcasts(t *testing.T) {
 	if orig.Key() == next.Key() {
 		t.Fatal("new broadcast id must produce a new key")
 	}
+}
+
+func TestPoolRoundTripAndCopyFrom(t *testing.T) {
+	p := Get()
+	if !p.pooled || p.refs != 1 {
+		t.Fatalf("Get() pool state = (%v, %d), want (true, 1)", p.pooled, p.refs)
+	}
+	src := &Packet{Type: TypeRREQ, ID: 9, Src: 1, Dst: 2, HopCount: 1.5}
+	p.CopyFrom(src)
+	if p.Type != TypeRREQ || p.ID != 9 || p.HopCount != 1.5 {
+		t.Fatal("CopyFrom did not copy packet fields")
+	}
+	if !p.pooled || p.refs != 1 {
+		t.Fatal("CopyFrom clobbered pool bookkeeping")
+	}
+	p.Retain()
+	p.Release()
+	if !p.pooled || p.refs != 1 {
+		t.Fatal("Retain/Release pair changed the reference count")
+	}
+	p.Release() // final reference: back to the pool
+}
+
+func TestReleaseNonPooledIsNoOp(t *testing.T) {
+	p := &Packet{Type: TypeData}
+	p.Retain()
+	p.Release()
+	p.Release() // must not panic: plain packets keep GC semantics
+	if p.Type != TypeData {
+		t.Fatal("Release zeroed a non-pooled packet")
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	// A second Release would hand the same slot to two owners; the pool
+	// must refuse loudly when the reference count goes negative.
+	p := Get()
+	p.Release()
+	p.pooled = true // simulate a stale alias still pointing at the slot
+	p.refs = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	p.Release()
 }

@@ -168,12 +168,14 @@ func (a *Agent) Start(time.Duration) {
 
 // beacon broadcasts one associativity beacon and re-arms.
 func (a *Agent) beacon(time.Duration) {
-	a.env.SendControl(&packet.Packet{
+	b := packet.Get() // recycled by the MAC layer after transmission
+	b.CopyFrom(&packet.Packet{
 		Type: packet.TypeBeacon,
 		Src:  a.env.ID(),
 		To:   packet.Broadcast,
 		Size: packet.SizeBeacon,
 	})
+	a.env.SendControl(b)
 	a.env.Schedule(a.cfg.BeaconInterval+routing.Jitter(a.env.Rand()), func(now time.Duration) {
 		a.beacon(now)
 	})

@@ -1,0 +1,56 @@
+package routing
+
+import (
+	"time"
+
+	"rica/internal/network"
+	"rica/internal/packet"
+	"rica/internal/sim"
+)
+
+// DelayedSender transmits control packets after a delay without allocating
+// a closure per packet: the pending packet parks in a slot arena and the
+// timer carries the slot index over the kernel's ScheduleArg fast path.
+// Flood rebroadcasts are the simulator's most frequent delayed sends (every
+// received RREQ/CSIC/LSA copy re-arms one behind Jitter), which made the
+// captured-closure variant a dominant allocation source.
+type DelayedSender struct {
+	env   network.Env
+	slots []*packet.Packet
+	free  []int
+	fire  sim.ArgHandler // bound send, built once
+}
+
+// NewDelayedSender builds a sender around env.
+func NewDelayedSender(env network.Env) *DelayedSender {
+	d := &DelayedSender{env: env}
+	d.fire = d.send
+	return d
+}
+
+// SendAfter transmits pkt on the common channel after delay.
+func (d *DelayedSender) SendAfter(delay time.Duration, pkt *packet.Packet) {
+	var slot int
+	if n := len(d.free); n > 0 {
+		slot = d.free[n-1]
+		d.free = d.free[:n-1]
+		d.slots[slot] = pkt
+	} else {
+		slot = len(d.slots)
+		d.slots = append(d.slots, pkt)
+	}
+	d.env.ScheduleArg(delay, d.fire, slot, 0)
+}
+
+// SendJittered transmits pkt after the standard rebroadcast jitter drawn
+// from the environment's randomness.
+func (d *DelayedSender) SendJittered(pkt *packet.Packet) {
+	d.SendAfter(Jitter(d.env.Rand()), pkt)
+}
+
+func (d *DelayedSender) send(_ time.Duration, slot, _ int) {
+	pkt := d.slots[slot]
+	d.slots[slot] = nil
+	d.free = append(d.free, slot)
+	d.env.SendControl(pkt)
+}

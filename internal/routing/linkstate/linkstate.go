@@ -69,6 +69,7 @@ type Agent struct {
 
 	lastFlood    time.Duration
 	floodPending bool
+	relay        *routing.DelayedSender
 
 	sptNext  []int
 	sptDirty bool
@@ -82,6 +83,7 @@ func New(env network.Env, cfg Config, boot *routing.Graph) *Agent {
 	a := &Agent{
 		env:      env,
 		cfg:      cfg,
+		relay:    routing.NewDelayedSender(env),
 		hist:     routing.NewHistory(),
 		topo:     routing.NewGraph(env.NumNodes()),
 		myLinks:  make(map[int]float64),
@@ -119,12 +121,14 @@ func (a *Agent) Start(time.Duration) {
 
 // beacon broadcasts a probe, sweeps silent neighbours, and re-arms.
 func (a *Agent) beacon(now time.Duration) {
-	a.env.SendControl(&packet.Packet{
+	b := packet.Get() // recycled by the MAC layer after transmission
+	b.CopyFrom(&packet.Packet{
 		Type: packet.TypeBeacon,
 		Src:  a.env.ID(),
 		To:   packet.Broadcast,
 		Size: packet.SizeBeacon,
 	})
+	a.env.SendControl(b)
 	a.sweepSilent(now)
 	a.env.Schedule(a.cfg.BeaconInterval+routing.Jitter(a.env.Rand()), func(at time.Duration) {
 		a.beacon(at)
@@ -211,7 +215,8 @@ func (a *Agent) originateLSA(now time.Duration) {
 	for _, j := range nbrs {
 		entries = append(entries, LinkEntry{Neighbor: j, Cost: a.myLinks[j]})
 	}
-	pkt := &packet.Packet{
+	pkt := packet.Get() // recycled by the MAC layer after the flood airs
+	pkt.CopyFrom(&packet.Packet{
 		Type:        packet.TypeLSA,
 		Src:         a.env.ID(),
 		To:          packet.Broadcast,
@@ -219,7 +224,7 @@ func (a *Agent) originateLSA(now time.Duration) {
 		BroadcastID: a.seq,
 		Payload:     entries,
 		CreatedAt:   now,
-	}
+	})
 	a.hist.FirstCopy(pkt, now) // ignore our own echo
 	a.env.SendControl(pkt)
 }
@@ -241,9 +246,7 @@ func (a *Agent) handleLSA(pkt *packet.Packet, now time.Duration) {
 	// LSA carries its own flood), matching plain LSA flooding.
 	fwd := pkt.Clone()
 	fwd.To = packet.Broadcast
-	a.env.Schedule(routing.Jitter(a.env.Rand()), func(time.Duration) {
-		a.env.SendControl(fwd)
-	})
+	a.relay.SendJittered(fwd)
 }
 
 // newerSeq compares LSA generations with wraparound tolerance.

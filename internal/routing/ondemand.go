@@ -85,13 +85,14 @@ type Core struct {
 	queries  map[int]*queryState
 	gather   map[packet.FloodKey]*gatherState
 	upstream map[FlowKey]upstreamRec
+	delayed  *DelayedSender
 	bcast    uint32
 }
 
 type queryState struct {
 	kind    packet.Type
 	retries int
-	timer   *sim.Timer
+	timer   sim.Timer
 }
 
 type gatherState struct {
@@ -139,8 +140,14 @@ func NewCore(env network.Env, cfg CoreConfig) *Core {
 		queries:  make(map[int]*queryState),
 		gather:   make(map[packet.FloodKey]*gatherState),
 		upstream: make(map[FlowKey]upstreamRec),
+		delayed:  NewDelayedSender(env),
 	}
 }
+
+// Delayed exposes the core's closure-free delayed sender so protocols
+// sharing the core (RICA's CSIC relay) reuse its arena for their own
+// jittered rebroadcasts.
+func (c *Core) Delayed() *DelayedSender { return c.delayed }
 
 // Env returns the agent's environment (for protocol code sharing the core).
 func (c *Core) Env() network.Env { return c.env }
@@ -210,7 +217,8 @@ func (c *Core) StartQuery(dst int, kind packet.Type, ttl int, now time.Duration)
 
 func (c *Core) sendQuery(dst int, qs *queryState, ttl int) {
 	c.bcast++
-	pkt := &packet.Packet{
+	pkt := packet.Get() // recycled by the MAC layer after the flood airs
+	pkt.CopyFrom(&packet.Packet{
 		Type:        qs.kind,
 		Src:         c.env.ID(),
 		Dst:         dst,
@@ -219,7 +227,7 @@ func (c *Core) sendQuery(dst int, qs *queryState, ttl int) {
 		BroadcastID: c.bcast,
 		TTL:         ttl,
 		CreatedAt:   c.env.Now(),
-	}
+	})
 	// Mark our own flood seen so echoes are ignored.
 	c.hist.FirstCopy(pkt, c.env.Now())
 	c.env.SendControl(pkt)
@@ -303,9 +311,7 @@ func (c *Core) handleQuery(pkt *packet.Packet, now time.Duration) {
 	}
 	fwd := pkt.Clone()
 	fwd.To = packet.Broadcast
-	c.env.Schedule(Jitter(c.env.Rand()), func(time.Duration) {
-		c.env.SendControl(fwd)
-	})
+	c.delayed.SendJittered(fwd)
 }
 
 // gatherAtDestination collects copies of one flood and answers the best.
@@ -323,8 +329,11 @@ func (c *Core) gatherAtDestination(pkt *packet.Packet, now time.Duration) {
 			c.reply(pkt.Src, key, gs, now) // AODV: first copy wins
 			return
 		}
+		// Copy the scalar out: pkt is a pooled delivery copy that is long
+		// recycled by the time the collection window closes.
+		src := pkt.Src
 		c.env.Schedule(c.cfg.CollectWindow, func(at time.Duration) {
-			c.reply(pkt.Src, key, gs, at)
+			c.reply(src, key, gs, at)
 		})
 		return
 	}
@@ -344,7 +353,8 @@ func (c *Core) reply(src int, key packet.FloodKey, gs *gatherState, now time.Dur
 	if key.Kind == packet.TypeLQ {
 		kind = packet.TypeLREP
 	}
-	rep := &packet.Packet{
+	rep := packet.Get() // recycled by the MAC layer after transmission
+	rep.CopyFrom(&packet.Packet{
 		Type:        kind,
 		Src:         src,     // travels toward the query's origin
 		Dst:         key.Dst, // the flow destination routes point toward
@@ -354,7 +364,7 @@ func (c *Core) reply(src int, key packet.FloodKey, gs *gatherState, now time.Dur
 		GeoHops:     0,
 		HopCount:    0,
 		CreatedAt:   now,
-	}
+	})
 	c.env.SendControl(rep)
 }
 
@@ -386,10 +396,10 @@ func (c *Core) handleReply(pkt *packet.Packet, now time.Duration) {
 	if pkt.Type == packet.TypeLREP {
 		queryKind = packet.TypeLQ
 	}
-	rec := c.hist.Lookup(packet.FloodKey{
+	rec, ok := c.hist.Lookup(packet.FloodKey{
 		Origin: pkt.Src, Dst: pkt.Dst, BroadcastID: pkt.BroadcastID, Kind: queryKind,
 	})
-	if rec == nil {
+	if !ok {
 		return // reverse path lost; the query will time out and retry
 	}
 	fwd := pkt.Clone()
@@ -441,7 +451,8 @@ func (c *Core) SendREER(src, dst int, now time.Duration) {
 	if !ok || now-up.at > upstreamLifetime {
 		return
 	}
-	c.env.SendControl(&packet.Packet{
+	reer := packet.Get() // recycled by the MAC layer after transmission
+	reer.CopyFrom(&packet.Packet{
 		Type:      packet.TypeREER,
 		Src:       src,
 		Dst:       dst,
@@ -450,6 +461,7 @@ func (c *Core) SendREER(src, dst int, now time.Duration) {
 		Size:      packet.SizeREER,
 		CreatedAt: now,
 	})
+	c.env.SendControl(reer)
 }
 
 // REERAll reports the loss of every known flow through this terminal

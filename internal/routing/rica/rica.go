@@ -108,12 +108,12 @@ type candidate struct {
 
 type csicCollect struct {
 	best  candidate
-	timer *sim.Timer
+	timer sim.Timer
 }
 
 type checker struct {
 	srcID        int
-	timer        *sim.Timer
+	timer        sim.Timer
 	lastActivity time.Duration
 	ttl          int
 	running      bool
@@ -298,7 +298,8 @@ func (a *Agent) sendCSIC(ch *checker, now time.Duration) {
 			ttl = a.cfg.TTLSlack + 1
 		}
 	}
-	a.env.SendControl(&packet.Packet{
+	csic := packet.Get() // recycled by the MAC layer after the flood airs
+	csic.CopyFrom(&packet.Packet{
 		Type:        packet.TypeCSIC,
 		Src:         ch.srcID,   // the flow's source: where the info must arrive
 		Dst:         a.env.ID(), // the broadcasting destination
@@ -308,6 +309,7 @@ func (a *Agent) sendCSIC(ch *checker, now time.Duration) {
 		TTL:         ttl,
 		CreatedAt:   now,
 	})
+	a.env.SendControl(csic)
 }
 
 // --- Checking packet propagation ----------------------------------------
@@ -344,9 +346,7 @@ func (a *Agent) handleCSIC(pkt *packet.Packet, now time.Duration) {
 	fwd := pkt.Clone()
 	fwd.To = packet.Broadcast
 	fwd.Via = pkt.From // paper: rebroadcasts name the terminal they heard
-	a.env.Schedule(routing.Jitter(a.env.Rand()), func(time.Duration) {
-		a.env.SendControl(fwd)
-	})
+	a.core.Delayed().SendJittered(fwd)
 }
 
 // gatherAtSource accumulates checking packets at the flow's source and,
@@ -382,7 +382,8 @@ func (a *Agent) decideRoute(dst int, now time.Duration) {
 	changed := prev == nil || !prev.Valid || prev.Next != col.best.next
 	a.core.Table.Install(dst, col.best.next, col.best.hop, col.best.geo, now)
 	if changed {
-		a.env.SendControl(&packet.Packet{
+		rupd := packet.Get() // recycled by the MAC layer after transmission
+		rupd.CopyFrom(&packet.Packet{
 			Type:      packet.TypeRUPD,
 			Src:       a.env.ID(),
 			Dst:       dst,
@@ -390,6 +391,7 @@ func (a *Agent) decideRoute(dst int, now time.Duration) {
 			Size:      packet.SizeRUPD,
 			CreatedAt: now,
 		})
+		a.env.SendControl(rupd)
 	}
 	a.core.FlushPending(dst, now)
 }

@@ -117,10 +117,18 @@ func (t *Table) Lookup(dst int, now time.Duration) *Entry {
 // stale routes).
 func (t *Table) Peek(dst int) *Entry { return t.entries[dst] }
 
-// Install inserts or replaces the route toward dst.
+// Install inserts or replaces the route toward dst. The destination's
+// existing entry record is overwritten in place when one exists, so
+// steady-state route churn recycles rather than allocates; holders of a
+// stale *Entry observe the replacement route, which matches the table's
+// "latest install wins" semantics.
 func (t *Table) Install(dst, next int, hopCount float64, geoHops int, now time.Duration) *Entry {
-	e := &Entry{Dst: dst, Next: next, HopCount: hopCount, GeoHops: geoHops, UpdatedAt: now, Valid: true}
-	t.entries[dst] = e
+	e := t.entries[dst]
+	if e == nil {
+		e = &Entry{}
+		t.entries[dst] = e
+	}
+	*e = Entry{Dst: dst, Next: next, HopCount: hopCount, GeoHops: geoHops, UpdatedAt: now, Valid: true}
 	if t.OnInstall != nil {
 		t.OnInstall()
 	}
@@ -162,9 +170,20 @@ func (t *Table) InvalidateNext(next int) []int {
 
 // History performs duplicate suppression for flood packets and remembers
 // the reverse pointer (the upstream terminal the first copy arrived from),
-// which the RREP later retraces.
+// which the RREP later retraces. Records are stored by value: a network
+// sees one new flood instance per received copy of every query round, and
+// boxing each record was the simulator's largest residual allocation.
 type History struct {
-	seen map[packet.FloodKey]*FloodRecord
+	seen map[packet.FloodKey]FloodRecord
+
+	// One-entry MRU cache. Flood copies arrive in bursts keyed by the
+	// same instance, and the common case (a non-improving duplicate) is a
+	// pure read — the cache answers it without touching the map. The map
+	// is written through on every update, so the cache is never the only
+	// holder of a record.
+	lastKey packet.FloodKey
+	lastRec FloodRecord
+	lastOK  bool
 }
 
 // FloodRecord is what the history keeps per flood instance.
@@ -180,19 +199,24 @@ type FloodRecord struct {
 
 // NewHistory returns an empty flood history.
 func NewHistory() *History {
-	return &History{seen: make(map[packet.FloodKey]*FloodRecord)}
+	return &History{seen: make(map[packet.FloodKey]FloodRecord)}
 }
 
 // FirstCopy records pkt's flood instance if unseen and reports whether
 // this was the first copy. Duplicate copies return (record, false) with
 // the original record, which callers use for reverse-path forwarding.
-func (h *History) FirstCopy(pkt *packet.Packet, now time.Duration) (*FloodRecord, bool) {
+func (h *History) FirstCopy(pkt *packet.Packet, now time.Duration) (FloodRecord, bool) {
 	key := pkt.Key()
+	if h.lastOK && key == h.lastKey {
+		return h.lastRec, false
+	}
 	if rec, ok := h.seen[key]; ok {
+		h.lastKey, h.lastRec, h.lastOK = key, rec, true
 		return rec, false
 	}
-	rec := &FloodRecord{FirstFrom: pkt.From, HopCount: pkt.HopCount, GeoHops: pkt.GeoHops, At: now}
+	rec := FloodRecord{FirstFrom: pkt.From, HopCount: pkt.HopCount, GeoHops: pkt.GeoHops, At: now}
 	h.seen[key] = rec
+	h.lastKey, h.lastRec, h.lastOK = key, rec, true
 	return rec, true
 }
 
@@ -208,26 +232,36 @@ const metricImprovement = 1e-6
 // improving copies so the accumulated CSI distances converge to the true
 // shortest routes; the metric strictly decreases per terminal, so the
 // flood always terminates.
-func (h *History) Improved(pkt *packet.Packet, now time.Duration) (*FloodRecord, bool) {
+func (h *History) Improved(pkt *packet.Packet, now time.Duration) (FloodRecord, bool) {
 	key := pkt.Key()
-	rec, ok := h.seen[key]
-	if !ok {
-		rec = &FloodRecord{FirstFrom: pkt.From, HopCount: pkt.HopCount, GeoHops: pkt.GeoHops, At: now}
-		h.seen[key] = rec
-		return rec, true
+	rec, cached := h.lastRec, h.lastOK && key == h.lastKey
+	if !cached {
+		var ok bool
+		rec, ok = h.seen[key]
+		if !ok {
+			rec = FloodRecord{FirstFrom: pkt.From, HopCount: pkt.HopCount, GeoHops: pkt.GeoHops, At: now}
+			h.seen[key] = rec
+			h.lastKey, h.lastRec, h.lastOK = key, rec, true
+			return rec, true
+		}
 	}
 	if pkt.HopCount < rec.HopCount-metricImprovement {
-		rec.FirstFrom = pkt.From
-		rec.HopCount = pkt.HopCount
-		rec.GeoHops = pkt.GeoHops
-		rec.At = now
+		rec = FloodRecord{FirstFrom: pkt.From, HopCount: pkt.HopCount, GeoHops: pkt.GeoHops, At: now}
+		h.seen[key] = rec
+		h.lastKey, h.lastRec, h.lastOK = key, rec, true
 		return rec, true
+	}
+	if !cached {
+		h.lastKey, h.lastRec, h.lastOK = key, rec, true
 	}
 	return rec, false
 }
 
 // Lookup fetches the record for a previously seen flood, if any.
-func (h *History) Lookup(key packet.FloodKey) *FloodRecord { return h.seen[key] }
+func (h *History) Lookup(key packet.FloodKey) (FloodRecord, bool) {
+	rec, ok := h.seen[key]
+	return rec, ok
+}
 
 // Pending buffers data packets waiting for a route to one destination.
 type Pending struct {

@@ -91,7 +91,7 @@ func TestHistoryFirstCopy(t *testing.T) {
 	if rec2.FirstFrom != 4 {
 		t.Fatal("duplicate overwrote the reverse pointer")
 	}
-	if h.Lookup(pkt.Key()) != rec {
+	if got, ok := h.Lookup(pkt.Key()); !ok || got != rec {
 		t.Fatal("Lookup did not find the record")
 	}
 }

@@ -71,8 +71,13 @@ func (e *Env) NumNodes() int { return e.NVal }
 func (e *Env) Now() time.Duration { return e.Kernel.Now() }
 
 // Schedule implements network.Env.
-func (e *Env) Schedule(d time.Duration, fn func(now time.Duration)) *sim.Timer {
+func (e *Env) Schedule(d time.Duration, fn func(now time.Duration)) sim.Timer {
 	return e.Kernel.Schedule(d, fn)
+}
+
+// ScheduleArg implements network.Env.
+func (e *Env) ScheduleArg(d time.Duration, fn sim.ArgHandler, a0, a1 int) sim.Timer {
+	return e.Kernel.ScheduleArg(d, fn, a0, a1)
 }
 
 // SendControl implements network.Env.

@@ -5,26 +5,235 @@ import "time"
 // event is a single queue entry. Events are ordered by (at, seq): seq is a
 // strictly increasing scheduling counter, so two events scheduled for the
 // same instant fire in the order they were scheduled (FIFO). Cancellation
-// is lazy: cancelled entries stay in the heap and are skipped on pop,
-// which makes Timer.Cancel O(1).
+// is lazy: cancelled entries stay queued and are skipped (and recycled) on
+// pop, which makes Timer.Cancel O(1).
+//
+// Events are pooled: once dispatched or compacted away they return to the
+// kernel's free list and are reused by later Schedule calls, so the steady
+// state allocates nothing. gen is bumped on every recycle; Timer handles
+// remember the gen they were issued for, which turns a stale handle's
+// Cancel into a harmless no-op instead of a use-after-free on whatever
+// event happens to occupy the slot now. pooled flags free-list membership
+// so a double release fails loudly.
 type event struct {
 	at        time.Duration
 	seq       uint64
-	fn        Handler
+	gen       uint32
 	cancelled bool
+	pooled    bool
+
+	// Exactly one of fn (closure path) and afn (argument fast path) is
+	// set. afn avoids a per-event closure allocation: the two int
+	// arguments index whatever per-layer state arena the caller keeps.
+	fn  Handler
+	afn ArgHandler
+	a0  int
+	a1  int
 }
 
-// eventHeap is a hand-rolled binary min-heap. We avoid container/heap's
-// interface indirection because the event queue is the hottest structure
-// in the simulator (hundreds of thousands of pushes per run).
+// less orders events by (at, seq) — the kernel's total dispatch order.
+func (e *event) less(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// Ladder-queue geometry. The near tier is a circular array of buckets
+// each spanning 2^ladderShift nanoseconds; together the buckets cover a
+// ~268 ms horizon in front of the clock, which comfortably holds the
+// dense MAC band (backoff slots, control airtimes, ACK timeouts are all
+// single-digit milliseconds). Events beyond the horizon wait in a binary
+// heap and migrate into buckets as the clock approaches them — so the
+// heap only ever sees the sparse far population (beacon intervals, CSI
+// check periods), while the hot band pays O(1) insertion.
+const (
+	ladderShift   = 20 // bucket width 2^20 ns ≈ 1.05 ms
+	ladderBuckets = 256
+	ladderMask    = ladderBuckets - 1
+)
+
+// ladderWin maps an instant to its bucket window number.
+func ladderWin(t time.Duration) int64 { return int64(t) >> ladderShift }
+
+// eventQueue is the kernel's two-tier pending-event store.
+type eventQueue struct {
+	slots [ladderBuckets][]*event
+	// slotCount is how many events (live + cancelled) sit in slots.
+	slotCount int
+	// minWin is a lower bound on the window number of every slotted
+	// event; pop scans forward from it and tightens it as windows drain.
+	minWin int64
+	// far holds events beyond the bucket horizon, ordered by (at, seq).
+	far eventHeap
+}
+
+// size reports queued events, cancelled ones included.
+func (q *eventQueue) size() int { return q.slotCount + len(q.far) }
+
+// push files ev under the current clock reading now.
+func (q *eventQueue) push(ev *event, now time.Duration) {
+	w := ladderWin(ev.at)
+	if w < ladderWin(now)+ladderBuckets {
+		q.pushSlot(ev, w)
+		return
+	}
+	q.far.push(ev)
+}
+
+func (q *eventQueue) pushSlot(ev *event, w int64) {
+	q.slots[w&ladderMask] = append(q.slots[w&ladderMask], ev)
+	q.slotCount++
+	if w < q.minWin || q.slotCount == 1 {
+		q.minWin = w
+	}
+}
+
+// pop removes and returns the earliest live event in (at, seq) order, or
+// nil when none remain. Cancelled events encountered along the way are
+// compacted out and handed to recycle.
+func (q *eventQueue) pop(now time.Duration, recycle func(*event)) *event {
+	q.migrate(now)
+	if q.slotCount == 0 {
+		return nil
+	}
+	// Scan windows from the lower bound. A slot can also hold events one
+	// lap ahead (window w+ladderBuckets maps to the same slot while stale
+	// cancelled entries linger), so the per-window min considers only
+	// events whose window matches; later-lap events stay put.
+	for w := q.minWin; ; w++ {
+		s := q.slots[w&ladderMask]
+		if len(s) == 0 {
+			q.minWin = w + 1
+			continue
+		}
+		// Fast path: no cancelled entries (the common case) needs no
+		// compaction writes — one scan picks the minimum, one swap removes
+		// it.
+		best := -1
+		dirty := false
+		for i, ev := range s {
+			if ev.cancelled {
+				dirty = true
+				break
+			}
+			if ladderWin(ev.at) == w && (best < 0 || ev.less(s[best])) {
+				best = i
+			}
+		}
+		if dirty {
+			best = q.scrubSlot(w, recycle)
+			s = q.slots[w&ladderMask]
+		}
+		if best >= 0 {
+			ev := s[best]
+			last := len(s) - 1
+			s[best] = s[last]
+			s[last] = nil
+			q.slots[w&ladderMask] = s[:last]
+			q.slotCount--
+			q.minWin = w
+			return ev
+		}
+		if q.slotCount == 0 {
+			// Only cancelled events remained; the far tier may still hold
+			// work that now migrates into an empty near tier.
+			q.migrate(now)
+			if q.slotCount == 0 {
+				return nil
+			}
+			w = q.minWin - 1
+			continue
+		}
+		q.minWin = w + 1
+	}
+}
+
+// scrubSlot compacts cancelled events out of window w's slot, handing them
+// to recycle, and returns the index of the minimum event belonging to
+// window w among the survivors (-1 when only later-lap events remain).
+func (q *eventQueue) scrubSlot(w int64, recycle func(*event)) int {
+	s := q.slots[w&ladderMask]
+	keep := s[:0]
+	best := -1
+	for _, ev := range s {
+		if ev.cancelled {
+			q.slotCount--
+			recycle(ev)
+			continue
+		}
+		keep = append(keep, ev)
+		if ladderWin(ev.at) == w && (best < 0 || ev.less(keep[best])) {
+			best = len(keep) - 1
+		}
+	}
+	for i := len(keep); i < len(s); i++ {
+		s[i] = nil // release compacted references
+	}
+	q.slots[w&ladderMask] = keep
+	return best
+}
+
+// migrate pulls far events that fall inside the bucket horizon into the
+// near tier. When the near tier is empty the horizon jumps forward to the
+// heap's minimum, so a sparse far-future schedule never strands events.
+func (q *eventQueue) migrate(now time.Duration) {
+	if len(q.far) == 0 {
+		return
+	}
+	curWin := ladderWin(now)
+	for len(q.far) > 0 {
+		topWin := ladderWin(q.far[0].at)
+		if q.slotCount == 0 && topWin > curWin {
+			curWin = topWin
+		}
+		if topWin >= curWin+ladderBuckets {
+			return
+		}
+		q.pushSlot(q.far.pop(), topWin)
+	}
+}
+
+// compact removes every cancelled event from both tiers, handing each to
+// recycle, and restores the far tier's heap invariant in one pass.
+func (q *eventQueue) compact(recycle func(*event)) {
+	for i := range q.slots {
+		s := q.slots[i]
+		keep := s[:0]
+		for _, ev := range s {
+			if ev.cancelled {
+				q.slotCount--
+				recycle(ev)
+				continue
+			}
+			keep = append(keep, ev)
+		}
+		for j := len(keep); j < len(s); j++ {
+			s[j] = nil
+		}
+		q.slots[i] = keep
+	}
+	live := q.far[:0]
+	for _, ev := range q.far {
+		if ev.cancelled {
+			recycle(ev)
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(q.far); i++ {
+		q.far[i] = nil
+	}
+	q.far = live
+	q.far.init()
+}
+
+// eventHeap is a hand-rolled binary min-heap over (at, seq) — the far
+// tier of the ladder queue. We avoid container/heap's interface
+// indirection because even the far tier sees thousands of pushes per run.
 type eventHeap []*event
 
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) less(i, j int) bool { return h[i].less(h[j]) }
 
 func (h *eventHeap) push(ev *event) {
 	*h = append(*h, ev)
@@ -42,6 +251,14 @@ func (h *eventHeap) pop() *event {
 		h.down(0)
 	}
 	return top
+}
+
+// init establishes the heap invariant over arbitrary contents (used after
+// in-place compaction).
+func (h eventHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
 }
 
 func (h eventHeap) up(i int) {

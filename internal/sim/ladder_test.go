@@ -1,0 +1,375 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// --- Ladder queue vs reference-heap ordering oracle ----------------------
+
+// refEvent mirrors one scheduled event for the oracle.
+type refEvent struct {
+	at  time.Duration
+	seq int
+}
+
+// TestLadderMatchesReferenceOrder drives the kernel with adversarial
+// schedules — dense same-instant bursts, far-future beacons that cross the
+// bucket horizon, chained scheduling from inside handlers, random cancels
+// — and checks the dispatch order against the (at, seq) total order a
+// plain sorted reference produces.
+func TestLadderMatchesReferenceOrder(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		var want []refEvent // live events in scheduling order
+		var got []refEvent
+		seq := 0
+
+		schedule := func(d time.Duration) {
+			me := refEvent{at: k.Now() + d, seq: seq}
+			seq++
+			want = append(want, me)
+			k.Schedule(d, func(now time.Duration) {
+				got = append(got, refEvent{at: now, seq: me.seq})
+			})
+		}
+		var timers []Timer
+		scheduleCancellable := func(d time.Duration) {
+			me := refEvent{at: k.Now() + d, seq: seq}
+			seq++
+			want = append(want, me)
+			timers = append(timers, k.Schedule(d, func(now time.Duration) {
+				got = append(got, refEvent{at: now, seq: me.seq})
+			}))
+		}
+
+		// A mix of bands: sub-bucket delays, exact ties, multi-bucket,
+		// and far beyond the ladder horizon (≥ 1 s with 1 ms buckets).
+		bands := []time.Duration{
+			0, time.Microsecond, 500 * time.Microsecond,
+			3 * time.Millisecond, 200 * time.Millisecond,
+			2 * time.Second, time.Minute,
+		}
+		for i := 0; i < 300; i++ {
+			d := bands[rng.Intn(len(bands))]
+			if rng.Intn(2) == 0 {
+				d += time.Duration(rng.Intn(1_000_000))
+			}
+			if rng.Intn(4) == 0 {
+				scheduleCancellable(d)
+			} else {
+				schedule(d)
+			}
+		}
+		// Cancel a third of the cancellable timers before running.
+		for i := range timers {
+			if rng.Intn(3) == 0 {
+				timers[i].Cancel()
+			}
+		}
+		// Handlers occasionally schedule more work mid-run.
+		k.Schedule(time.Millisecond, func(time.Duration) {
+			for i := 0; i < 20; i++ {
+				schedule(time.Duration(rng.Intn(5_000_000)))
+			}
+		})
+		k.RunAll()
+
+		// Expected order: the events that actually fired, sorted by
+		// (at, seq) — cancelled ones never appear in got.
+		fired := make(map[int]bool, len(got))
+		for _, g := range got {
+			fired[g.seq] = true
+		}
+		expect := make([]refEvent, 0, len(got))
+		for _, w := range want {
+			if fired[w.seq] {
+				expect = append(expect, w)
+			}
+		}
+		sortRef(expect)
+
+		if len(got) != len(expect) {
+			t.Fatalf("seed %d: fired %d events, expected %d", seed, len(got), len(expect))
+		}
+		for i := range got {
+			if got[i].seq != expect[i].seq || got[i].at != expect[i].at {
+				t.Fatalf("seed %d: position %d fired (at=%v seq=%d), want (at=%v seq=%d)",
+					seed, i, got[i].at, got[i].seq, expect[i].at, expect[i].seq)
+			}
+		}
+	}
+}
+
+// sortRef orders by (at, seq) — the kernel's contractual dispatch order.
+func sortRef(evs []refEvent) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := evs[j], evs[j-1]
+			if a.at < b.at || (a.at == b.at && a.seq < b.seq) {
+				evs[j], evs[j-1] = evs[j-1], evs[j]
+				continue
+			}
+			break
+		}
+	}
+}
+
+// TestLadderFarFutureOnly exercises the horizon-jump path: nothing in the
+// near tier, everything in the overflow heap.
+func TestLadderFarFutureOnly(t *testing.T) {
+	k := NewKernel()
+	var got []time.Duration
+	for _, d := range []time.Duration{time.Hour, time.Minute, 24 * time.Hour, 2 * time.Minute} {
+		k.Schedule(d, func(now time.Duration) { got = append(got, now) })
+	}
+	k.RunAll()
+	wantOrder := []time.Duration{time.Minute, 2 * time.Minute, time.Hour, 24 * time.Hour}
+	if len(got) != len(wantOrder) {
+		t.Fatalf("fired %d, want %d", len(got), len(wantOrder))
+	}
+	for i := range got {
+		if got[i] != wantOrder[i] {
+			t.Fatalf("order %v, want %v", got, wantOrder)
+		}
+	}
+}
+
+// --- Pool and generation-counter edge cases ------------------------------
+
+// TestTimerReuseAfterFire: once a timer's event fires, the pooled record is
+// recycled for later events. A stale Cancel through the old handle must not
+// touch the new occupant.
+func TestTimerReuseAfterFire(t *testing.T) {
+	k := NewKernel()
+	stale := k.Schedule(time.Millisecond, func(time.Duration) {})
+	k.RunAll() // fires; record returns to the pool
+
+	fired := false
+	fresh := k.Schedule(time.Millisecond, func(time.Duration) { fired = true })
+	stale.Cancel() // stale generation: must be a no-op
+	k.RunAll()
+	if !fired {
+		t.Fatal("stale Cancel suppressed a recycled event (generation counter failed)")
+	}
+	if fresh.Cancelled() {
+		t.Fatal("fresh handle reports cancelled")
+	}
+}
+
+// TestTimerReuseAfterCancelAndCompaction: a cancelled event recycled by a
+// pop sweep must equally ignore a second Cancel through the old handle.
+func TestTimerReuseAfterCancelAndCompaction(t *testing.T) {
+	k := NewKernel()
+	old := k.Schedule(time.Millisecond, func(time.Duration) {})
+	old.Cancel()
+	k.Schedule(2*time.Millisecond, func(time.Duration) {})
+	k.RunAll() // pop sweeps the cancelled record back into the pool
+
+	fired := false
+	k.Schedule(time.Millisecond, func(time.Duration) { fired = true })
+	old.Cancel() // second cancel through a long-dead handle
+	k.RunAll()
+	if !fired {
+		t.Fatal("re-cancel of a dead handle reached a recycled event")
+	}
+}
+
+// TestCancelOwnTimerInsideHandler: a handler cancelling the timer that is
+// currently firing must be a harmless no-op.
+func TestCancelOwnTimerInsideHandler(t *testing.T) {
+	k := NewKernel()
+	var self Timer
+	ran := false
+	self = k.Schedule(time.Millisecond, func(time.Duration) {
+		ran = true
+		self.Cancel()
+	})
+	k.RunAll()
+	if !ran {
+		t.Fatal("handler did not run")
+	}
+	// The pool must still hand out working events afterwards.
+	again := false
+	k.Schedule(time.Millisecond, func(time.Duration) { again = true })
+	k.RunAll()
+	if !again {
+		t.Fatal("kernel wedged after self-cancel")
+	}
+}
+
+// TestCancelThroughCopiedHandleCountsOnce: Timer is a value, so handles
+// copy freely; cancelling through two copies must settle the live count
+// exactly once.
+func TestCancelThroughCopiedHandleCountsOnce(t *testing.T) {
+	k := NewKernel()
+	a := k.Schedule(time.Millisecond, func(time.Duration) {})
+	k.Schedule(2*time.Millisecond, func(time.Duration) {})
+	b := a // copied handle
+	a.Cancel()
+	b.Cancel()
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d after double cancel via copies, want 1", k.Pending())
+	}
+	if !a.Cancelled() || !b.Cancelled() {
+		t.Fatal("both handles should report cancelled")
+	}
+	k.RunAll()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", k.Pending())
+	}
+}
+
+// TestEventDoubleFreePanics: releasing the same pooled record twice is a
+// bug that would hand one event to two Schedule calls; the kernel must
+// fail loudly instead.
+func TestEventDoubleFreePanics(t *testing.T) {
+	k := NewKernel()
+	ev := k.alloc()
+	k.release(ev)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	k.release(ev)
+}
+
+// TestStopInsideHandlerDuringRun: Stop called from within a handler halts
+// the run after that handler, leaving later events queued and runnable.
+func TestStopInsideHandlerDuringRun(t *testing.T) {
+	k := NewKernel()
+	order := []int{}
+	k.Schedule(time.Millisecond, func(time.Duration) { order = append(order, 1) })
+	k.Schedule(2*time.Millisecond, func(time.Duration) {
+		order = append(order, 2)
+		k.Stop()
+	})
+	k.Schedule(3*time.Millisecond, func(time.Duration) { order = append(order, 3) })
+	k.Run(time.Second)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("events before stop = %v, want [1 2]", order)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d after Stop, want the un-run event", k.Pending())
+	}
+	k.Run(time.Second) // resumable
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("resume did not fire the remaining event: %v", order)
+	}
+}
+
+// TestAtInPastDuringDispatch: an At for an instant the clock has already
+// passed — issued from inside a handler mid-dispatch — clamps to now and
+// still fires, after the currently-queued same-instant events.
+func TestAtInPastDuringDispatch(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.Schedule(5*time.Millisecond, func(now time.Duration) {
+		got = append(got, 1)
+		k.At(time.Millisecond, func(inner time.Duration) { // in the past
+			if inner != 5*time.Millisecond {
+				t.Errorf("past At fired at %v, want clamp to 5ms", inner)
+			}
+			got = append(got, 3)
+		})
+		k.Schedule(0, func(time.Duration) { got = append(got, 2) })
+	})
+	k.RunAll()
+	// The past-At event was scheduled before the 0-delay one, so FIFO at
+	// the clamped instant preserves issue order: 1, 3, 2.
+	want := []int{1, 3, 2}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+// --- Live Pending and compaction -----------------------------------------
+
+// TestPendingCountsLiveOnly: cancelled events vanish from Pending
+// immediately, not when they are lazily swept.
+func TestPendingCountsLiveOnly(t *testing.T) {
+	k := NewKernel()
+	var timers []Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, k.Schedule(time.Duration(i+1)*time.Millisecond, func(time.Duration) {}))
+	}
+	if k.Pending() != 10 {
+		t.Fatalf("Pending() = %d, want 10", k.Pending())
+	}
+	for i := 0; i < 4; i++ {
+		timers[i].Cancel()
+	}
+	if k.Pending() != 6 {
+		t.Fatalf("Pending() = %d after 4 cancels, want 6", k.Pending())
+	}
+	timers[0].Cancel() // idempotent: must not double-decrement
+	if k.Pending() != 6 {
+		t.Fatalf("Pending() = %d after repeated cancel, want 6", k.Pending())
+	}
+	k.RunAll()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", k.Pending())
+	}
+}
+
+// TestCancelHeavyLoadCompacts: under a cancel-dominated load (the CSMA
+// retransmission pattern) the queue must shed cancelled entries instead of
+// accumulating them until dispatch.
+func TestCancelHeavyLoadCompacts(t *testing.T) {
+	k := NewKernel()
+	// One far-future survivor keeps the queue non-empty throughout.
+	k.Schedule(time.Hour, func(time.Duration) {})
+	for round := 0; round < 200; round++ {
+		var batch []Timer
+		for i := 0; i < 100; i++ {
+			batch = append(batch, k.Schedule(time.Duration(i+1)*time.Millisecond, func(time.Duration) {}))
+		}
+		for _, tm := range batch {
+			tm.Cancel()
+		}
+		if size := k.queue.size(); size > 2*compactMin {
+			t.Fatalf("round %d: queued %d entries for 1 live event; compaction is not keeping up", round, size)
+		}
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1 survivor", k.Pending())
+	}
+}
+
+// TestCompactionPreservesOrder: compaction mid-stream must not perturb the
+// dispatch order of surviving events.
+func TestCompactionPreservesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k := NewKernel()
+	var want []refEvent
+	var got []refEvent
+	id := 0
+	for i := 0; i < 500; i++ {
+		d := time.Duration(rng.Intn(1_000_000_000))
+		if rng.Intn(2) == 0 {
+			me := refEvent{at: d, seq: id}
+			id++
+			want = append(want, me)
+			k.Schedule(d, func(now time.Duration) { got = append(got, refEvent{at: now, seq: me.seq}) })
+		} else {
+			id++ // cancelled events still consume a slot in schedule order
+			tm := k.Schedule(d, func(time.Duration) { t.Error("cancelled event fired") })
+			tm.Cancel()
+		}
+	}
+	k.RunAll()
+	sortRef(want)
+	if len(got) != len(want) {
+		t.Fatalf("fired %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].seq != want[i].seq {
+			t.Fatalf("position %d fired seq %d, want %d", i, got[i].seq, want[i].seq)
+		}
+	}
+}

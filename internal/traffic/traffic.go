@@ -94,30 +94,45 @@ func (g *Generator) Start(flows []Flow, streams *sim.Streams, stop time.Duration
 		if f.Rate <= 0 {
 			continue
 		}
-		rng := streams.StreamAt(streamKindFlow, uint64(i))
-		g.scheduleNext(f, rng, stop)
+		// One runner (and one bound handler) per flow, built once: the
+		// per-packet rescheduling then reuses it, so a million arrivals
+		// cost the allocator nothing beyond the packets themselves.
+		r := &flowRunner{g: g, f: f, rng: streams.StreamAt(streamKindFlow, uint64(i)), stop: stop}
+		r.fire = r.tick
+		r.schedule()
 	}
 }
 
-// scheduleNext arms the next arrival for flow f.
-func (g *Generator) scheduleNext(f Flow, rng *rand.Rand, stop time.Duration) {
-	gap := f.nextGap(g.kernel.Now(), rng)
-	g.kernel.Schedule(gap, func(now time.Duration) {
-		if now >= stop {
-			return
-		}
-		g.nextID++
-		pkt := &packet.Packet{
-			Type:      packet.TypeData,
-			ID:        g.nextID,
-			Src:       f.Src,
-			Dst:       f.Dst,
-			Size:      packet.SizeData,
-			CreatedAt: now,
-		}
-		g.nodes[f.Src].OriginateData(pkt, now)
-		g.scheduleNext(f, rng, stop)
-	})
+// flowRunner drives one flow's arrival process.
+type flowRunner struct {
+	g    *Generator
+	f    Flow
+	rng  *rand.Rand
+	stop time.Duration
+	fire sim.Handler // bound tick, built once
+}
+
+// schedule arms the flow's next arrival.
+func (r *flowRunner) schedule() {
+	r.g.kernel.Schedule(r.f.nextGap(r.g.kernel.Now(), r.rng), r.fire)
+}
+
+// tick emits one data packet and re-arms.
+func (r *flowRunner) tick(now time.Duration) {
+	if now >= r.stop {
+		return
+	}
+	r.g.nextID++
+	pkt := &packet.Packet{
+		Type:      packet.TypeData,
+		ID:        r.g.nextID,
+		Src:       r.f.Src,
+		Dst:       r.f.Dst,
+		Size:      packet.SizeData,
+		CreatedAt: now,
+	}
+	r.g.nodes[r.f.Src].OriginateData(pkt, now)
+	r.schedule()
 }
 
 // nextGap draws the delay from now until the flow's next arrival.

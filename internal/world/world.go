@@ -286,6 +286,7 @@ func (w *World) Run() metrics.Summary {
 	w.Kernel.Run(w.Cfg.Duration)
 	s := w.Collector.Summary()
 	s.Energy = w.Meter.Stats(s.GoodputBps * w.Cfg.Duration.Seconds())
+	s.Events = w.Kernel.Executed()
 	return s
 }
 
