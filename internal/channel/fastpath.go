@@ -1,0 +1,198 @@
+// Channel query fast path: per-instant pair memoization and fused
+// neighbour scans (DESIGN.md §9).
+//
+// Everything here is bit-identical to the plain query path by
+// construction. The pair caches answer repeated same-instant queries
+// without touching the fading links — Link.advance no-ops at dt ≤ 0, so
+// a repeated query never consumed random draws in the first place, and
+// re-quantizing an unchanged SNR against the hysteresis state the first
+// quantization left behind reproduces the first answer exactly. The
+// fused scans change how candidate pairs are enumerated and where their
+// distances are computed, never which links get advanced at which
+// instants, so every fading stream sees the identical query sequence.
+package channel
+
+import (
+	"time"
+
+	"rica/internal/geom"
+)
+
+// NeighborClass is one entry of a fused neighbourhood scan: a terminal
+// in radio range together with the current channel class toward it.
+type NeighborClass struct {
+	ID    int
+	Class Class
+}
+
+// distAtIdx returns the pair's memoized distance at the snapshot's
+// instant, computing and caching it on miss. idx is the model's
+// triangular index for (i, j).
+func (m *Model) distAtIdx(s *snapshot, idx, i, j int, at time.Duration) float64 {
+	if s.pairDistGen[idx] == s.gen {
+		return s.pairDist[idx]
+	}
+	d := m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at))
+	s.pairDist[idx] = d
+	s.pairDistGen[idx] = s.gen
+	return d
+}
+
+// classMiss computes, caches, and returns the pair's class at the
+// snapshot's instant. It is the one place the fading link is consulted,
+// so the advance pattern each link observes is exactly the pre-cache
+// one: the first class query of a pair at a new instant advances it,
+// repeats are answered from the cache without touching it.
+func (m *Model) classMiss(s *snapshot, idx, i, j int, at time.Duration) Class {
+	d := m.distAtIdx(s, idx, i, j, at)
+	if m.pairDown(s, i, j, at) {
+		// Radio-silent endpoint: feed the link an out-of-range distance so
+		// its fading process still advances in step with real time.
+		d = m.cfg.Range + 1
+	}
+	c := m.linkAt(idx, i, j).ClassAt(d, m.relSpeed(s, i, j, at), at)
+	s.pairClass[idx] = c
+	s.pairClassGen[idx] = s.gen
+	return c
+}
+
+// candEntry is one candidate of a per-build neighbour list: the
+// terminal, the pair's triangular index (precomputed so the hot walks
+// never re-derive it), and the build-time distance.
+type candEntry struct {
+	id  int32
+	idx int32 // triangular pair index of (centre, id)
+	d   float64
+}
+
+// candidates returns node i's candidate list over the current grid
+// build: every other terminal whose build-time distance from i's
+// build-time position is within candRadius, ascending by id, each with
+// that build-time distance and the pair's cache index. The list is
+// computed once per (node, grid build) and reused until the next
+// rebuild — it depends only on the indexed positions, not on the query
+// instant — so repeated neighbour scans between rebuilds skip the
+// bucket walk and sorting entirely.
+func (m *Model) candidates(s *snapshot, g *geom.Grid, i int) []candEntry {
+	if s.candStamp[i] == s.candGen {
+		return s.cand[i]
+	}
+	s.ndBuf = g.NearDist(g.PointAt(i), s.candRadius, s.ndBuf[:0])
+	lst := s.cand[i][:0]
+	for _, c := range s.ndBuf {
+		j := int(c.ID)
+		if j == i {
+			continue // the centre is always its own nearest candidate
+		}
+		lst = append(lst, candEntry{id: c.ID, idx: int32(m.pairIndex(i, j)), d: c.D})
+	}
+	s.cand[i] = lst
+	s.candStamp[i] = s.candGen
+	return lst
+}
+
+// Neighbors appends to dst the ids of terminals within radio range of i
+// in ascending id order, and returns the extended slice. Pass a reusable
+// buffer to avoid allocation in flood hot paths. The scan walks the
+// node's per-build candidate list: with a fresh grid the recorded
+// build-time distances are the current distances bit-for-bit (and are
+// fed into the pair-distance cache, so the class probes that follow a
+// broadcast reuse them); against a stale grid only the candidates inside
+// the drift annulus need an exact distance check.
+func (m *Model) Neighbors(i int, at time.Duration, dst []int) []int {
+	s := m.sync(at)
+	if m.downAt(s, i, at) {
+		return dst
+	}
+	g, slack := m.gridAt(s, at)
+	cands := m.candidates(s, g, i)
+
+	if slack == 0 {
+		// The indexed positions are the current ones bit-for-bit, so the
+		// recorded build distance is exact — no position derivation at all,
+		// and the distance cache is warmed for free.
+		for _, c := range cands {
+			if c.d > m.cfg.Range || m.downAt(s, int(c.id), at) {
+				continue
+			}
+			if s.pairDistGen[c.idx] != s.gen {
+				s.pairDist[c.idx] = c.d
+				s.pairDistGen[c.idx] = s.gen
+			}
+			dst = append(dst, int(c.id))
+		}
+		return dst
+	}
+
+	// Stale grid: both endpoints can have drifted at most slack metres
+	// since the build, so a build distance ≤ Range−2·safe guarantees the
+	// pair is still in range, beyond Range+2·safe it provably is not, and
+	// only the annulus needs an exact check against current positions.
+	safe := slack + slack*slackEps + slackEps
+	in, out := m.cfg.Range-2*safe, m.cfg.Range+2*safe
+	for _, c := range cands {
+		j := int(c.id)
+		if c.d > out || m.downAt(s, j, at) {
+			continue
+		}
+		if c.d > in {
+			if m.distAtIdx(s, int(c.idx), i, j, at) > m.cfg.Range {
+				continue
+			}
+		}
+		dst = append(dst, j)
+	}
+	return dst
+}
+
+// NeighborClasses appends to dst every terminal within radio range of i
+// together with its current channel class, in ascending id order — the
+// fused form of a Neighbors sweep followed by a Class probe per
+// neighbour. One pass over the candidate list performs the range filter,
+// the outage filter, the distance computation, and the class
+// quantization, sharing the per-instant pair caches with the individual
+// query paths.
+//
+// The call advances exactly the links a Neighbors-then-Class loop would
+// advance (every in-range pair with both radios up, at this instant), so
+// use it where that loop is the intended access pattern — topology
+// installation, neighbourhood surveys — not as a drop-in for scans that
+// consult only a subset of the classes.
+func (m *Model) NeighborClasses(i int, at time.Duration, dst []NeighborClass) []NeighborClass {
+	s := m.sync(at)
+	if m.downAt(s, i, at) {
+		return dst
+	}
+	g, slack := m.gridAt(s, at)
+	cands := m.candidates(s, g, i)
+
+	safe := slack + slack*slackEps + slackEps
+	in, out := m.cfg.Range-2*safe, m.cfg.Range+2*safe
+	if slack == 0 {
+		in, out = m.cfg.Range, m.cfg.Range
+	}
+	for _, c := range cands {
+		j := int(c.id)
+		idx := int(c.idx)
+		if c.d > out || m.downAt(s, j, at) {
+			continue
+		}
+		if slack == 0 && s.pairDistGen[idx] != s.gen {
+			s.pairDist[idx] = c.d // exact: build positions are current ones
+			s.pairDistGen[idx] = s.gen
+		}
+		if c.d > in {
+			if m.distAtIdx(s, idx, i, j, at) > m.cfg.Range {
+				continue
+			}
+		}
+		var cl Class
+		if s.pairClassGen[idx] == s.gen {
+			cl = s.pairClass[idx]
+		} else {
+			cl = m.classMiss(s, idx, i, j, at)
+		}
+		dst = append(dst, NeighborClass{ID: j, Class: cl})
+	}
+	return dst
+}

@@ -73,6 +73,12 @@ type Link struct {
 	cfg *Config
 	rng *rand.Rand
 
+	// trans, when non-nil, memoizes the speed-scaled AR(1) coefficients
+	// shared across a model's links (see trans.go). Links built outside a
+	// Model compute them directly; the sampled processes are identical
+	// either way, because the cache is exact.
+	trans *transCache
+
 	last   time.Duration
 	inited bool
 
@@ -80,6 +86,14 @@ type Link struct {
 	fi, fq float64 // fading quadratures, N(0,1) marginally
 
 	lastClass Class // hysteresis memory; ClassNone until first quantization
+
+	// lastD/lastPathLoss memoize the deterministic log-distance term of
+	// the most recent SNR evaluation. Keyed on the exact distance bits
+	// (d ≥ 1 always, so the zero value can never false-hit), the memo is
+	// bit-exact; it pays off whenever neither endpoint moved between
+	// queries — parked pairs and static topologies.
+	lastD        float64
+	lastPathLoss float64
 }
 
 // NewLink creates a link process with its private random stream. The
@@ -114,19 +128,20 @@ func (l *Link) advance(at time.Duration, relSpeed float64) {
 	if speedScale < l.cfg.MinSpeed {
 		speedScale = l.cfg.MinSpeed
 	}
-	stretch := l.cfg.RefSpeed / speedScale
-	tauS := l.cfg.ShadowTau.Seconds() * stretch
-	tauF := l.cfg.FadeTau.Seconds() * stretch
 
 	// AR(1) / Ornstein-Uhlenbeck update preserving the stationary law:
-	// x' = ρx + sqrt(1-ρ²)·σ·N(0,1), ρ = exp(−dt/τ).
-	rhoS := math.Exp(-dt.Seconds() / tauS)
-	l.shadow = rhoS*l.shadow + math.Sqrt(1-rhoS*rhoS)*l.cfg.ShadowSigma*l.rng.NormFloat64()
-
-	rhoF := math.Exp(-dt.Seconds() / tauF)
-	sf := math.Sqrt(1 - rhoF*rhoF)
-	l.fi = rhoF*l.fi + sf*l.rng.NormFloat64()
-	l.fq = rhoF*l.fq + sf*l.rng.NormFloat64()
+	// x' = ρx + sqrt(1-ρ²)·σ·N(0,1), ρ = exp(−dt/τ). The coefficients
+	// depend only on (dt, speedScale); the shared exact-key cache answers
+	// recurring spacings without recomputing the transcendentals.
+	var rhoS, sigS, rhoF, sigF float64
+	if l.trans != nil {
+		rhoS, sigS, rhoF, sigF = l.trans.coeffs(l.cfg, dt, speedScale)
+	} else {
+		rhoS, sigS, rhoF, sigF = arCoeffs(l.cfg, dt, speedScale)
+	}
+	l.shadow = rhoS*l.shadow + sigS*l.cfg.ShadowSigma*l.rng.NormFloat64()
+	l.fi = rhoF*l.fi + sigF*l.rng.NormFloat64()
+	l.fq = rhoF*l.fq + sigF*l.rng.NormFloat64()
 }
 
 // SNR reports the instantaneous SNR in dB at distance d metres and virtual
@@ -137,7 +152,11 @@ func (l *Link) SNR(d, relSpeed float64, at time.Duration) float64 {
 	if d < 1 {
 		d = 1 // log-distance law reference distance
 	}
-	pathLoss := 10 * l.cfg.PathLossExponent * math.Log10(d)
+	if d != l.lastD {
+		l.lastPathLoss = 10 * l.cfg.PathLossExponent * math.Log10(d)
+		l.lastD = d
+	}
+	pathLoss := l.lastPathLoss
 	// Rayleigh envelope power in dB: the two quadratures are unit normal,
 	// so (fi²+fq²)/2 is Exp(1) with mean 1 (0 dB average fade).
 	fadePow := (l.fi*l.fi + l.fq*l.fq) / 2

@@ -33,16 +33,20 @@ const streamKindChannel = 0x_C4A1
 //
 // Queries route through a per-instant snapshot (see snapshot.go): the
 // positions, speeds, and outage states behind them are derived once per
-// virtual instant, and Neighbors answers from a spatial grid rather than
-// a full scan. The per-pair fading streams are untouched by the caching,
-// so results are bit-identical to the uncached scans.
+// virtual instant, each pair's distance and class at most once per
+// instant, and neighbourhood scans walk per-build candidate lists over a
+// spatial grid rather than the terminal set (see fastpath.go). The
+// per-pair fading streams are untouched by all of the caching, so
+// results are bit-identical to the uncached scans.
 type Model struct {
 	cfg     Config
 	pos     []Positioner
+	caps    []caps  // optional per-terminal capabilities, resolved once
 	links   []*Link // upper-triangular pair index, created lazily
 	streams *sim.Streams
 	down    func(i int, at time.Duration) bool
 	snap    *snapshot
+	trans   transCache // exact AR(1)-coefficient cache shared by all links
 }
 
 // NewModel builds the channel for n terminals whose positions are given by
@@ -59,18 +63,20 @@ func NewModel(cfg Config, streams *sim.Streams, pos []Positioner) *Model {
 	return &Model{
 		cfg:     cfg,
 		pos:     pos,
+		caps:    resolveCaps(pos),
 		links:   make([]*Link, n*(n-1)/2),
 		streams: streams,
-		snap:    newSnapshot(n, cfg.Range),
+		snap:    newSnapshot(n, cfg.Range, cfg.Range),
 	}
 }
 
-// link fetches (creating on first use) the fading process of pair (i, j).
-func (m *Model) link(i, j int) *Link {
-	idx := m.pairIndex(i, j)
+// linkAt fetches (creating on first use) the fading process of the pair
+// whose triangular index is idx.
+func (m *Model) linkAt(idx, i, j int) *Link {
 	l := m.links[idx]
 	if l == nil {
 		l = NewLink(&m.cfg, m.streams.StreamAt(streamKindChannel, uint64(idx)))
+		l.trans = &m.trans
 		m.links[idx] = l
 	}
 	return l
@@ -113,7 +119,11 @@ func (m *Model) pairIndex(i, j int) int {
 
 // Distance reports the current distance between terminals i and j.
 func (m *Model) Distance(i, j int, at time.Duration) float64 {
-	return m.pairDistance(m.sync(at), i, j, at)
+	if i == j {
+		return 0
+	}
+	s := m.sync(at)
+	return m.distAtIdx(s, m.pairIndex(i, j), i, j, at)
 }
 
 // relSpeed bounds the pair's relative speed by the sum of the terminals'
@@ -123,23 +133,38 @@ func (m *Model) relSpeed(s *snapshot, i, j int, at time.Duration) float64 {
 }
 
 // Class reports the channel class between i and j at time at. The link is
-// symmetric: Class(i, j) == Class(j, i) by construction.
+// symmetric: Class(i, j) == Class(j, i) by construction. Repeated queries
+// of a pair within one instant are answered from the snapshot's class
+// cache — the fading link is advanced exactly once per instant either
+// way, so the cache never perturbs a sample path.
 func (m *Model) Class(i, j int, at time.Duration) Class {
 	s := m.sync(at)
-	d := m.pairDistance(s, i, j, at)
-	if m.pairDown(s, i, j, at) {
-		// Radio-silent endpoint: feed the link an out-of-range distance so
-		// its fading process still advances in step with real time.
-		d = m.cfg.Range + 1
+	idx := m.pairIndex(i, j)
+	if s.pairClassGen[idx] == s.gen {
+		return s.pairClass[idx]
 	}
-	return m.link(i, j).ClassAt(d, m.relSpeed(s, i, j, at), at)
+	return m.classMiss(s, idx, i, j, at)
 }
 
 // SNR reports the instantaneous link SNR in dB (ignoring the range
-// cutoff); exported for diagnostics and tests.
+// cutoff); exported for diagnostics and tests. Memoized per pair per
+// instant like Class; the SNR cache lane is allocated on first use so
+// simulation runs that never ask pay nothing.
 func (m *Model) SNR(i, j int, at time.Duration) float64 {
 	s := m.sync(at)
-	return m.link(i, j).SNR(m.pairDistance(s, i, j, at), m.relSpeed(s, i, j, at), at)
+	idx := m.pairIndex(i, j)
+	if s.pairSNRGen == nil {
+		s.pairSNRGen = make([]uint64, len(m.links))
+		s.pairSNR = make([]float64, len(m.links))
+	}
+	if s.pairSNRGen[idx] == s.gen {
+		return s.pairSNR[idx]
+	}
+	d := m.distAtIdx(s, idx, i, j, at)
+	v := m.linkAt(idx, i, j).SNR(d, m.relSpeed(s, i, j, at), at)
+	s.pairSNR[idx] = v
+	s.pairSNRGen[idx] = s.gen
+	return v
 }
 
 // InRange reports whether i and j are within radio reception range (and
@@ -149,7 +174,10 @@ func (m *Model) InRange(i, j int, at time.Duration) bool {
 	if m.pairDown(s, i, j, at) {
 		return false
 	}
-	return m.pairDistance(s, i, j, at) <= m.cfg.Range
+	if i == j {
+		return true // a terminal trivially hears itself
+	}
+	return m.distAtIdx(s, m.pairIndex(i, j), i, j, at) <= m.cfg.Range
 }
 
 // interferenceEps absorbs float rounding in the triangle-inequality
@@ -169,69 +197,7 @@ func (m *Model) Interferes(i, j int, at time.Duration) bool {
 		return true
 	}
 	s := m.sync(at)
-	return m.pairDistance(s, i, j, at) <= 2*m.cfg.Range+interferenceEps
-}
-
-// Neighbors appends to dst the ids of terminals within radio range of i
-// in ascending id order, and returns the extended slice. Pass a reusable
-// buffer to avoid allocation in flood hot paths. The scan is an
-// O(density) bucket query against the snapshot's spatial grid, not a full
-// sweep of the terminal set.
-func (m *Model) Neighbors(i int, at time.Duration, dst []int) []int {
-	s := m.sync(at)
-	if m.downAt(s, i, at) {
-		return dst
-	}
-	g, slack := m.gridAt(s, at)
-	pi := m.positionAt(s, i, at)
-	if slack == 0 {
-		// The indexed positions are the current ones bit-for-bit, so the
-		// grid's own distance filter is exact; drop self and silenced
-		// terminals in place, preserving order.
-		from := len(dst)
-		dst = g.Near(pi, m.cfg.Range, dst)
-		w := from
-		for _, j := range dst[from:] {
-			if j == i || m.downAt(s, j, at) {
-				continue
-			}
-			dst[w] = j
-			w++
-		}
-		return dst[:w]
-	}
-
-	// Stale grid: every terminal has drifted at most slack metres since
-	// the build, so build-time distance ≤ Range−slack guarantees the pair
-	// is still in range (no position derivation needed at all) and only
-	// the annulus up to Range+slack needs an exact distance check. The
-	// safety epsilon keeps float rounding in the drift bound from ever
-	// flipping a certainty, at the price of a nanometre-wider annulus.
-	const slackEps = 1e-9
-	safe := slack + slack*slackEps + slackEps
-	cert, maybe := g.NearSplit(pi, m.cfg.Range-safe, m.cfg.Range+safe,
-		s.certBuf[:0], s.maybeBuf[:0])
-	s.certBuf, s.maybeBuf = cert, maybe // keep the grown capacity
-
-	ci, mi := 0, 0
-	for ci < len(cert) || mi < len(maybe) {
-		var j int
-		if mi >= len(maybe) || (ci < len(cert) && cert[ci] < maybe[mi]) {
-			j = cert[ci]
-			ci++
-		} else {
-			j = maybe[mi]
-			mi++
-			if pi.DistanceTo(m.positionAt(s, j, at)) > m.cfg.Range {
-				continue
-			}
-		}
-		if j == i || m.downAt(s, j, at) {
-			continue
-		}
-		dst = append(dst, j)
-	}
-	return dst
+	return m.distAtIdx(s, m.pairIndex(i, j), i, j, at) <= 2*m.cfg.Range+interferenceEps
 }
 
 // bruteNeighbors is the pre-grid reference scan: every other terminal's

@@ -16,6 +16,26 @@ type Stabler interface {
 	PositionStableUntil(at time.Duration) time.Duration
 }
 
+// PositionStabler fuses Positioner and Stabler into a single call: the
+// position at at together with the first instant it may change. The
+// snapshot prefers it on a cache miss — one trajectory advance and one
+// interface dispatch instead of two — and falls back to the split calls
+// for Positioners that only implement the narrow interfaces. The fused
+// result must equal Position(at) and PositionStableUntil(at) exactly.
+type PositionStabler interface {
+	PositionStable(at time.Duration) (geom.Point, time.Duration)
+}
+
+// SpeedStabler extends Speeder with an exact staleness bound, mirroring
+// PositionStabler: the speed at at and the first instant it may change.
+// Waypoint terminals travel each leg at constant speed and pause at zero
+// speed, so their speed is piecewise constant with known boundaries —
+// which lets the snapshot keep a speed cached across instants instead of
+// re-deriving it per event. The fused result must equal Speed(at).
+type SpeedStabler interface {
+	SpeedStable(at time.Duration) (float64, time.Duration)
+}
+
 // SpeedLimiter optionally extends Positioner with a hard upper bound on
 // instantaneous speed (m/s). The bound lets the snapshot keep serving a
 // stale spatial grid exactly: a terminal can have drifted at most
@@ -30,19 +50,47 @@ type SpeedLimiter interface {
 // foreverStable marks a position with no future staleness boundary.
 const foreverStable = time.Duration(math.MaxInt64)
 
+// caps holds one terminal's optional capabilities, resolved once at
+// model construction so the per-miss hot paths dispatch through a nil
+// check instead of an interface type assertion.
+type caps struct {
+	posStable   PositionStabler
+	stabler     Stabler
+	speeder     Speeder
+	speedStable SpeedStabler
+	limiter     SpeedLimiter
+}
+
+func resolveCaps(pos []Positioner) []caps {
+	cs := make([]caps, len(pos))
+	for i, p := range pos {
+		c := &cs[i]
+		c.posStable, _ = p.(PositionStabler)
+		c.stabler, _ = p.(Stabler)
+		c.speeder, _ = p.(Speeder)
+		c.speedStable, _ = p.(SpeedStabler)
+		c.limiter, _ = p.(SpeedLimiter)
+	}
+	return cs
+}
+
 // snapshot memoizes the kinematic state of one virtual instant —
-// positions, speeds, and outage flags — plus a spatial grid over the
-// positions. Every Model query routes through it, so an event that makes
-// many queries at one kernel.Now() (a flood delivery, a carrier-sense
-// sweep, a topology install) derives each terminal's position once
-// instead of once per pair.
+// positions, speeds, outage flags, and derived per-pair quantities — plus
+// a spatial grid over the positions. Every Model query routes through it,
+// so an event that makes many queries at one kernel.Now() (a flood
+// delivery, a carrier-sense sweep, a topology install) derives each
+// terminal's position once instead of once per pair, and each pair's
+// distance, class, and SNR at most once per instant (see fastpath.go for
+// the pair caches and the fused neighbour scans).
 //
 // Positions additionally persist *across* instants while their terminal
 // is paused: the Stabler boundary says exactly when a cached position
-// goes stale, so a static or pausing field rebuilds nothing. The fading
-// links are deliberately not part of the snapshot — their lazy private
-// streams advance exactly as they would without it, keeping runs
-// bit-identical to the pre-snapshot scan.
+// goes stale, so a static or pausing field rebuilds nothing. Speeds do
+// the same through SpeedStabler — a waypoint terminal's speed is
+// piecewise constant, so its cache entry survives until the next
+// leg/pause boundary. The fading links are deliberately not part of the
+// snapshot — their lazy private streams advance exactly as they would
+// without it, keeping runs bit-identical to the pre-snapshot scan.
 type snapshot struct {
 	at  time.Duration
 	gen uint64 // 0 = no instant cached yet; bumped whenever at changes
@@ -52,14 +100,36 @@ type snapshot struct {
 	posAt    []time.Duration // instant each cached position was computed for
 	posUntil []time.Duration // exclusive staleness bound of each position
 
-	speed    []float64
-	speedGen []uint64
+	speed      []float64
+	speedGen   []uint64
+	speedFrom  []time.Duration // instant each cached speed was computed for
+	speedUntil []time.Duration // exclusive staleness bound of each speed
 
 	down    []bool
 	downGen []uint64
 
-	certBuf  []int // scratch: certain hits of a split grid query
-	maybeBuf []int // scratch: boundary candidates of a split grid query
+	// Per-pair, per-instant memo of derived link quantities, indexed by
+	// the model's triangular pair index and stamped with gen. Distance is
+	// warmed by the fused neighbour scans, so the Class probe a flood
+	// delivery triggers right after a Neighbors sweep reuses the scan's
+	// arithmetic. The SNR lane is allocated lazily — only diagnostics ask.
+	pairDistGen  []uint64
+	pairDist     []float64
+	pairClassGen []uint64
+	pairClass    []Class
+	pairSNRGen   []uint64
+	pairSNR      []float64
+
+	// Per-node candidate lists over the current grid build (fastpath.go).
+	// candGen identifies the build; a node's list is valid while its stamp
+	// matches. candRadius is the build-time distance beyond which a pair
+	// provably cannot be in range at any instant the build serves.
+	candGen    uint64
+	cand       [][]candEntry
+	candStamp  []uint64
+	ndBuf      []geom.IDDist // scratch for the grid query behind a list build
+	safeMax    float64       // per-terminal drift bound incl. float-safety padding
+	candRadius float64
 
 	grid      geom.Grid
 	gridBuilt bool
@@ -69,10 +139,24 @@ type snapshot struct {
 	maxSlack  float64       // drift budget before a rebuild (a sixteenth of a cell)
 }
 
-func newSnapshot(n int, cell float64) *snapshot {
+// slackEps keeps float rounding in the drift bound from ever flipping a
+// certainty, at the price of a nanometre-wider annulus.
+const slackEps = 1e-9
+
+// newSnapshot sizes the per-instant caches for n terminals. rangeM is
+// the radio range the neighbour queries use; cell the grid's bucket
+// size (currently equal to the range, but the candidate-list radius
+// must follow the range even if the bucket size is ever tuned apart).
+func newSnapshot(n int, rangeM, cell float64) *snapshot {
 	if cell <= 0 {
 		cell = 1 // degenerate configs (tests) still get a working index
 	}
+	if rangeM < 0 {
+		rangeM = 0
+	}
+	maxSlack := cell / 16
+	safeMax := maxSlack + maxSlack*slackEps + slackEps
+	npairs := n * (n - 1) / 2
 	return &snapshot{
 		// The drift budget trades rebuild rate against the width of the
 		// exact-check annulus every stale-grid query must walk. Rebuilds
@@ -80,23 +164,39 @@ func newSnapshot(n int, cell float64) *snapshot {
 		// completion's neighbour scan, so a tight budget wins: at the
 		// default 250 m range and 10 m/s MaxSpeed a sixteenth of a cell
 		// rebuilds every ~1.5 virtual seconds and keeps the annulus under
-		// ±16 m.
-		maxSlack: cell / 16,
-		pos:      make([]geom.Point, n),
-		posGen:   make([]uint64, n),
-		posAt:    make([]time.Duration, n),
-		posUntil: make([]time.Duration, n),
-		speed:    make([]float64, n),
-		speedGen: make([]uint64, n),
-		down:     make([]bool, n),
-		downGen:  make([]uint64, n),
-		grid:     *geom.NewGrid(cell),
+		// ±16 m per terminal.
+		maxSlack: maxSlack,
+		safeMax:  safeMax,
+		// Candidate lists must stay supersets for every instant their grid
+		// build serves: both endpoints of a pair can drift up to the slack
+		// budget, so the cut is one full annulus width past the range.
+		candRadius: rangeM + 2*safeMax,
+		pos:        make([]geom.Point, n),
+		posGen:     make([]uint64, n),
+		posAt:      make([]time.Duration, n),
+		posUntil:   make([]time.Duration, n),
+		speed:      make([]float64, n),
+		speedGen:   make([]uint64, n),
+		speedFrom:  make([]time.Duration, n),
+		speedUntil: make([]time.Duration, n),
+		down:       make([]bool, n),
+		downGen:    make([]uint64, n),
+
+		pairDistGen:  make([]uint64, npairs),
+		pairDist:     make([]float64, npairs),
+		pairClassGen: make([]uint64, npairs),
+		pairClass:    make([]Class, npairs),
+
+		cand:      make([][]candEntry, n),
+		candStamp: make([]uint64, n),
+
+		grid: *geom.NewGrid(cell),
 	}
 }
 
-// pairDistance returns the distance between i and j at instant at. The
-// endpoints' positions are memoized per instant; the subtract-and-sqrt on
-// top of them is cheaper than any per-pair stamp table would be.
+// pairDistance returns the distance between i and j at instant at,
+// without touching the pair cache (grid-rebuild internals and the brute
+// reference use it). Cached queries go through distAtIdx in fastpath.go.
 func (m *Model) pairDistance(s *snapshot, i, j int, at time.Duration) float64 {
 	return m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at))
 }
@@ -130,10 +230,16 @@ func (m *Model) positionMiss(s *snapshot, i int, at time.Duration) geom.Point {
 		s.posGen[i] = s.gen // still stable: revalidate for this instant
 		return s.pos[i]
 	}
-	p := m.pos[i].Position(at)
-	until := at
-	if st, ok := m.pos[i].(Stabler); ok {
-		until = st.PositionStableUntil(at)
+	var p geom.Point
+	var until time.Duration
+	if ps := m.caps[i].posStable; ps != nil {
+		p, until = ps.PositionStable(at) // fused: one trajectory advance
+	} else {
+		p = m.pos[i].Position(at)
+		until = at
+		if st := m.caps[i].stabler; st != nil {
+			until = st.PositionStableUntil(at)
+		}
 	}
 	s.pos[i] = p
 	s.posGen[i] = s.gen
@@ -151,12 +257,23 @@ func (m *Model) speedAt(s *snapshot, i int, at time.Duration) float64 {
 }
 
 func (m *Model) speedMiss(s *snapshot, i int, at time.Duration) float64 {
+	if s.speedGen[i] != 0 && s.speedFrom[i] <= at && at < s.speedUntil[i] {
+		s.speedGen[i] = s.gen // piecewise-constant segment still holds
+		return s.speed[i]
+	}
 	v := 0.0
-	if sp, ok := m.pos[i].(Speeder); ok {
+	until := at
+	if ss := m.caps[i].speedStable; ss != nil {
+		v, until = ss.SpeedStable(at)
+	} else if sp := m.caps[i].speeder; sp != nil {
 		v = sp.Speed(at)
+	} else {
+		until = foreverStable // no Speeder: parked by definition, forever
 	}
 	s.speed[i] = v
 	s.speedGen[i] = s.gen
+	s.speedFrom[i] = at
+	s.speedUntil[i] = until
 	return v
 }
 
@@ -180,7 +297,8 @@ func (m *Model) downAt(s *snapshot, i int, at time.Duration) bool {
 // it yields a guaranteed candidate superset (callers then filter against
 // exact current positions). The index is rebuilt only when the drift
 // budget is exhausted — every maxSlack/vmax of virtual time, not every
-// event — and never in a static field.
+// event — and never in a static field. A rebuild also invalidates the
+// per-node candidate lists derived from the previous build.
 func (m *Model) gridAt(s *snapshot, at time.Duration) (*geom.Grid, float64) {
 	if s.gridBuilt && at >= s.gridAt {
 		if at == s.gridAt || at < s.gridUntil {
@@ -201,7 +319,7 @@ func (m *Model) gridAt(s *snapshot, at time.Duration) (*geom.Grid, float64) {
 			until = s.posUntil[i]
 		}
 		if s.posUntil[i] != foreverStable {
-			if sl, ok := m.pos[i].(SpeedLimiter); ok {
+			if sl := m.caps[i].limiter; sl != nil {
 				vmax = math.Max(vmax, sl.SpeedLimit())
 			} else {
 				vmax = math.Inf(1) // unbounded mover: no stale service
@@ -213,5 +331,6 @@ func (m *Model) gridAt(s *snapshot, at time.Duration) (*geom.Grid, float64) {
 	s.gridAt = at
 	s.gridUntil = until
 	s.gridVmax = vmax
+	s.candGen++ // candidate lists of the old build are dead
 	return &s.grid, 0
 }

@@ -160,49 +160,56 @@ func (g *Grid) Near(p Point, r float64, dst []int) []int {
 	return dst
 }
 
-// NearSplit classifies the indexed points around p by build-time distance
-// into certain hits (distance ≤ rIn) and boundary candidates
-// (rIn < distance ≤ rOut), appending ids to the two slices and returning
-// them, each in ascending order. Callers with a bound on how far points
-// can have drifted since the Rebuild use it to skip exact re-checks for
-// everything but the annulus: inside rIn the true distance provably
-// remains within the query radius, beyond rOut it provably does not.
-// Comparisons run in squared space — boundary-equal points land in the
-// conservative bucket (maybe), never the certain one.
-func (g *Grid) NearSplit(p Point, rIn, rOut float64, certain, maybe []int) ([]int, []int) {
-	if len(g.pts) == 0 || rOut < 0 {
-		return certain, maybe
-	}
-	rIn2 := -1.0 // rIn < 0: nothing is certain
-	if rIn >= 0 {
-		rIn2 = rIn * rIn
-	}
-	rOut2 := rOut * rOut
+// IDDist pairs an indexed point id with its distance from a query
+// center, as appended by NearDist.
+type IDDist struct {
+	ID int32
+	D  float64
+}
 
-	cx0 := g.clampCol(int(math.Floor((p.X - rOut - g.minX) / g.cell)))
-	cx1 := g.clampCol(int(math.Floor((p.X + rOut - g.minX) / g.cell)))
-	cy0 := g.clampRow(int(math.Floor((p.Y - rOut - g.minY) / g.cell)))
-	cy1 := g.clampRow(int(math.Floor((p.Y + rOut - g.minY) / g.cell)))
+// PointAt returns the indexed (build-time) position of point id. Callers
+// that cache query results across a build use it to anchor those results
+// to the same coordinates the index answers from.
+func (g *Grid) PointAt(id int) Point { return g.pts[id] }
 
-	fromC, fromM := len(certain), len(maybe)
+// NearDist appends to dst every indexed point within distance r of p
+// (boundary inclusive, matching Point.DistanceTo exactly) together with
+// that distance, in ascending id order, and returns the extended slice.
+// It is Near with the distances kept: callers that filter or classify by
+// distance afterwards avoid recomputing the square roots.
+func (g *Grid) NearDist(p Point, r float64, dst []IDDist) []IDDist {
+	if len(g.pts) == 0 || r < 0 {
+		return dst
+	}
+	cx0 := g.clampCol(int(math.Floor((p.X - r - g.minX) / g.cell)))
+	cx1 := g.clampCol(int(math.Floor((p.X + r - g.minX) / g.cell)))
+	cy0 := g.clampRow(int(math.Floor((p.Y - r - g.minY) / g.cell)))
+	cy1 := g.clampRow(int(math.Floor((p.Y + r - g.minY) / g.cell)))
+
+	from := len(dst)
 	for cy := cy0; cy <= cy1; cy++ {
 		row := cy * g.cols
 		for cx := cx0; cx <= cx1; cx++ {
 			k := row + cx
 			for _, id := range g.ids[g.start[k]:g.start[k+1]] {
-				q := g.pts[id]
-				dx, dy := p.X-q.X, p.Y-q.Y
-				d2 := dx*dx + dy*dy
-				switch {
-				case d2 < rIn2:
-					certain = append(certain, int(id))
-				case d2 <= rOut2:
-					maybe = append(maybe, int(id))
+				if d := p.DistanceTo(g.pts[id]); d <= r {
+					dst = append(dst, IDDist{ID: id, D: d})
 				}
 			}
 		}
 	}
-	sort.Ints(certain[fromC:])
-	sort.Ints(maybe[fromM:])
-	return certain, maybe
+	// Ids ascend within one bucket but not across the scanned block; hit
+	// counts are O(density), where insertion sort beats the generic sort
+	// without allocating.
+	hits := dst[from:]
+	for i := 1; i < len(hits); i++ {
+		e := hits[i]
+		j := i - 1
+		for j >= 0 && hits[j].ID > e.ID {
+			hits[j+1] = hits[j]
+			j--
+		}
+		hits[j+1] = e
+	}
+	return dst
 }

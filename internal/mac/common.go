@@ -46,7 +46,11 @@ type LinkOracle interface {
 	// InRange reports whether i and j can currently hear each other.
 	InRange(i, j int, at time.Duration) bool
 	// Neighbors appends the ids of terminals within radio range of i to
-	// dst in ascending order and returns the extended slice.
+	// dst in ascending order and returns the extended slice. It must
+	// agree with InRange — j appears in Neighbors(i, at, ...) exactly
+	// when InRange(i, j, at) holds and i ≠ j — because the channel's
+	// collision bookkeeping interchanges one neighbourhood scan for many
+	// pairwise probes whichever is cheaper.
 	Neighbors(i int, at time.Duration, dst []int) []int
 	// Interferes reports whether a transmission by i can reach any
 	// terminal that hears j — the CSMA collision-relevance question. It
@@ -78,6 +82,15 @@ type CommonChannel struct {
 	active   []*transmission
 	nbuf     []int           // reusable neighbour scratch for broadcast delivery
 	obuf     []*transmission // reusable overlap-set scratch for one completion
+	vbuf     []int           // reusable victim scratch for collision marking
+
+	// colStamp/colEpoch mark, per terminal, whether the current
+	// completion's overlapping transmissions reach it: one neighbourhood
+	// scan per overlapping transmitter replaces a pairwise range probe
+	// per (transmitter, receiver) combination. An epoch bump invalidates
+	// the whole array in O(1).
+	colStamp []uint64
+	colEpoch uint64
 
 	// Per-packet timers ride the kernel's closure-free fast path: the
 	// event carries a slot index into these arenas instead of a captured
@@ -119,6 +132,7 @@ func NewCommonChannel(kernel *sim.Kernel, model LinkOracle, rng *rand.Rand) *Com
 		model:    model,
 		rng:      rng,
 		handlers: make([]ReceiveFunc, model.N()),
+		colStamp: make([]uint64, model.N()),
 	}
 	c.completeFn = c.completeSlot
 	c.retryFn = c.retrySlot
@@ -232,8 +246,24 @@ func (c *CommonChannel) backoff(tries int) time.Duration {
 	return time.Duration(c.rng.Int63n(int64(window))) + time.Millisecond
 }
 
+// senseBusyScanMin is the live-transmitter count above which senseBusy
+// switches from pairwise range probes to one neighbourhood scan: a scan
+// costs about as much as a handful of probes, so small carrier counts
+// stay on the probe path. collideScanMin is the same trade for the
+// broadcast collision check, in units of (overlaps × receivers)
+// pairwise probes.
+const (
+	senseBusyScanMin = 4
+	collideScanMin   = 16
+)
+
 // senseBusy reports whether terminal from hears an ongoing transmission.
+// With few carriers on air it probes each pairwise; in a dense storm it
+// takes one Neighbors scan of from and tests the carriers against it —
+// the same verdict (InRange is exactly Neighbors membership) at a cost
+// independent of the carrier count.
 func (c *CommonChannel) senseBusy(from int, now time.Duration) bool {
+	live := 0
 	for _, tx := range c.active {
 		if tx.end <= now {
 			continue
@@ -241,7 +271,26 @@ func (c *CommonChannel) senseBusy(from int, now time.Duration) bool {
 		if tx.from == from {
 			return true // own radio transmitting
 		}
-		if c.model.InRange(tx.from, from, now) {
+		live++
+	}
+	if live == 0 {
+		return false
+	}
+	if live < senseBusyScanMin {
+		for _, tx := range c.active {
+			if tx.end > now && c.model.InRange(tx.from, from, now) {
+				return true
+			}
+		}
+		return false
+	}
+	c.vbuf = c.model.Neighbors(from, now, c.vbuf[:0])
+	c.colEpoch++
+	for _, v := range c.vbuf {
+		c.colStamp[v] = c.colEpoch
+	}
+	for _, tx := range c.active {
+		if tx.end > now && c.colStamp[tx.from] == c.colEpoch {
 			return true
 		}
 	}
@@ -264,10 +313,31 @@ func (c *CommonChannel) complete(tx *transmission, now time.Duration) {
 		}
 	} else if c.nbuf = c.model.Neighbors(tx.from, now, c.nbuf[:0]); len(c.nbuf) > 0 {
 		c.overlaps(tx, now)
-		for _, j := range c.nbuf {
-			if c.handlers[j] == nil || c.collidedAt(j, now) {
-				continue
+		// Settle the survivor set before any handler runs: handlers may
+		// send synchronously, and the sends' carrier sensing reuses the
+		// collision stamps and scratch this fan-out fills. Small overlap
+		// sets stay on the pairwise probes; storms amortize one scan per
+		// overlapping transmitter across all receivers.
+		w := 0
+		if len(c.obuf)*len(c.nbuf) < collideScanMin {
+			for _, j := range c.nbuf {
+				if c.handlers[j] == nil || c.collidedAt(j, now) {
+					continue
+				}
+				c.nbuf[w] = j
+				w++
 			}
+		} else {
+			c.markCollided(now)
+			for _, j := range c.nbuf {
+				if c.handlers[j] == nil || c.colStamp[j] == c.colEpoch {
+					continue
+				}
+				c.nbuf[w] = j
+				w++
+			}
+		}
+		for _, j := range c.nbuf[:w] {
 			c.deliver(j, tx.pkt, now)
 		}
 	}
@@ -319,7 +389,9 @@ func (c *CommonChannel) overlaps(tx *transmission, now time.Duration) {
 
 // collidedAt reports whether receiver j heard a transmission overlapping
 // the one being completed (the precomputed c.obuf) — the hidden-terminal
-// destruction case.
+// destruction case. Unicast completions, with their single receiver, use
+// it directly; broadcast fan-outs precompute the same verdict for every
+// receiver at once via markCollided.
 func (c *CommonChannel) collidedAt(j int, now time.Duration) bool {
 	for _, other := range c.obuf {
 		if other.from == j {
@@ -330,6 +402,23 @@ func (c *CommonChannel) collidedAt(j int, now time.Duration) bool {
 		}
 	}
 	return false
+}
+
+// markCollided stamps every terminal that hears (or is) one of the
+// completion's overlapping transmitters: one Neighbors scan per
+// transmitter instead of one pairwise range probe per (transmitter,
+// receiver) combination. After the call, receiver j collided exactly
+// when colStamp[j] carries the current epoch — the identical verdict
+// collidedAt computes pairwise, since Neighbors membership is InRange.
+func (c *CommonChannel) markCollided(now time.Duration) {
+	c.colEpoch++
+	for _, other := range c.obuf {
+		c.colStamp[other.from] = c.colEpoch // a transmitter jams its own radio
+		c.vbuf = c.model.Neighbors(other.from, now, c.vbuf[:0])
+		for _, v := range c.vbuf {
+			c.colStamp[v] = c.colEpoch
+		}
+	}
 }
 
 // prune drops transmissions that can no longer overlap any future

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"slices"
 	"sort"
 	"time"
 )
@@ -23,7 +24,7 @@ func percentiles(samples []time.Duration) DelayPercentiles {
 	if len(samples) == 0 {
 		return DelayPercentiles{}
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	slices.Sort(samples) // ordered sort: no per-call comparator boxing
 	at := func(q float64) time.Duration {
 		idx := int(q * float64(len(samples)-1))
 		return samples[idx]

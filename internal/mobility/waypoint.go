@@ -150,6 +150,57 @@ func (n *Node) PositionStableUntil(at time.Duration) time.Duration {
 	}
 }
 
+// PositionStable reports the terminal's location at at together with its
+// staleness boundary — the fused form of Position plus
+// PositionStableUntil, advancing the trajectory once instead of twice.
+// The two results are exactly those of the split calls; the channel
+// snapshot prefers this entry point on its cache misses. Queries must be
+// non-decreasing in time, like Position.
+func (n *Node) PositionStable(at time.Duration) (geom.Point, time.Duration) {
+	if n.cfg.MaxSpeed <= 0 {
+		if at < 0 {
+			panic(fmt.Sprintf("mobility: query at negative time %v", at))
+		}
+		return n.to, StableForever // static: the start point, permanently
+	}
+	n.advanceTo(at)
+	switch {
+	case at < n.depart:
+		if at < 0 {
+			panic(fmt.Sprintf("mobility: query at negative time %v", at))
+		}
+		return n.from, n.depart // parked ahead of the current leg
+	case at >= n.arrive:
+		return n.to, n.arrive + n.cfg.Pause // pausing at the waypoint
+	default:
+		frac := float64(at-n.depart) / float64(n.arrive-n.depart)
+		return n.from.Lerp(n.to, frac), at // in motion: stale immediately
+	}
+}
+
+// SpeedStable reports the terminal's instantaneous speed at at together
+// with the first instant it may change. Waypoint motion is piecewise
+// constant in speed — zero through a pause, the leg's drawn speed while
+// moving — so the result stays exact until the returned boundary, which
+// lets the channel snapshot keep speeds cached across virtual instants.
+// The speed equals Speed(at) exactly. Queries must be non-decreasing in
+// time.
+func (n *Node) SpeedStable(at time.Duration) (float64, time.Duration) {
+	if n.cfg.MaxSpeed <= 0 {
+		return 0, StableForever
+	}
+	n.advanceTo(at)
+	switch {
+	case at < n.depart:
+		return 0, n.depart
+	case at >= n.arrive:
+		return 0, n.arrive + n.cfg.Pause
+	default:
+		dist := n.from.DistanceTo(n.to)
+		return dist / (float64(n.arrive-n.depart) / float64(time.Second)), n.arrive
+	}
+}
+
 // SpeedLimit reports a hard upper bound on the terminal's instantaneous
 // speed over its whole trajectory: per-leg speeds are drawn in
 // (0, MaxSpeed], floored at the minimum leg speed. The channel snapshot

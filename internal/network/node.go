@@ -39,8 +39,8 @@ type Node struct {
 	cfg    NodeConfig
 	agent  Agent
 
-	queues   map[int]*linkQueue
-	drainBuf []queued // reusable scratch for linkFailed backlog re-presentation
+	queues   []*linkQueue // per-neighbour link queues, dense by terminal id
+	drainBuf []queued     // reusable scratch for linkFailed backlog re-presentation
 }
 
 var _ Env = (*Node)(nil)
@@ -63,7 +63,7 @@ func NewNode(id int, kernel *sim.Kernel, common *mac.CommonChannel, data *mac.Da
 		rng:    rng,
 		rec:    rec,
 		cfg:    cfg,
-		queues: make(map[int]*linkQueue),
+		queues: make([]*linkQueue, model.N()),
 	}
 	if rr, ok := rec.(RouteRecorder); ok {
 		nd.routes = rr
@@ -90,6 +90,11 @@ func (nd *Node) Start() {
 
 // OriginateData injects a locally generated data packet (the traffic
 // generator's entry point). The packet's Src must be this terminal.
+//
+// The node owns every data packet it carries: a pooled packet is
+// recycled at its terminal sink — delivery at the destination or a
+// recorded drop — after the recorders have read it. Packets built as
+// plain literals (tests) keep GC semantics, as Release is a no-op there.
 func (nd *Node) OriginateData(pkt *packet.Packet, now time.Duration) {
 	if pkt.Src != nd.id {
 		panic("network: OriginateData with foreign Src")
@@ -97,6 +102,7 @@ func (nd *Node) OriginateData(pkt *packet.Packet, now time.Duration) {
 	nd.rec.DataGenerated(pkt, now)
 	if pkt.Dst == nd.id {
 		nd.rec.DataDelivered(pkt, now) // degenerate self-flow
+		pkt.Release()
 		return
 	}
 	nd.agent.RouteData(pkt, now)
@@ -112,6 +118,7 @@ func (nd *Node) onData(pkt *packet.Packet, now time.Duration) {
 	nd.agent.DataArrived(pkt, now)
 	if pkt.Dst == nd.id {
 		nd.rec.DataDelivered(pkt, now)
+		pkt.Release()
 		return
 	}
 	nd.agent.RouteData(pkt, now)
@@ -144,9 +151,13 @@ func (nd *Node) SendControl(pkt *packet.Packet) {
 	nd.common.Send(pkt)
 }
 
-// DropData implements Env.
+// DropData implements Env. The drop is a terminal sink: after the
+// recorders observe the packet it returns to the pool, so agents must
+// not touch it after the call (capture any fields they still need
+// first).
 func (nd *Node) DropData(pkt *packet.Packet, reason DropReason) {
 	nd.rec.DataDropped(pkt, reason, nd.kernel.Now())
+	pkt.Release()
 }
 
 // LinkClass implements Env.
@@ -200,6 +211,7 @@ func (nd *Node) EnqueueData(pkt *packet.Packet, next int) {
 	}
 	if q.len() >= nd.cfg.BufferCap {
 		nd.rec.DataDropped(pkt, DropCongestion, nd.kernel.Now())
+		pkt.Release()
 		return
 	}
 	q.push(queued{pkt: pkt, at: nd.kernel.Now()})
@@ -220,7 +232,9 @@ func (nd *Node) QueueLen(next int) int {
 func (nd *Node) QueueBacklog() int {
 	total := 0
 	for _, q := range nd.queues {
-		total += q.len()
+		if q != nil {
+			total += q.len()
+		}
 	}
 	return total
 }
@@ -238,6 +252,7 @@ func (nd *Node) serve(next int, q *linkQueue) {
 		if now-head.at > nd.cfg.BufferLifetime {
 			q.pop()
 			nd.rec.DataDropped(head.pkt, DropExpired, now)
+			head.pkt.Release()
 			continue
 		}
 		break
@@ -265,6 +280,7 @@ func (nd *Node) linkFailed(next int, q *linkQueue, failed *packet.Packet) {
 	for _, entry := range backlog {
 		if now-entry.at > nd.cfg.BufferLifetime {
 			nd.rec.DataDropped(entry.pkt, DropExpired, now)
+			entry.pkt.Release()
 			continue
 		}
 		nd.agent.RouteData(entry.pkt, now)

@@ -201,9 +201,12 @@ type Packet struct {
 var pool = sync.Pool{New: func() any { return new(Packet) }}
 
 // Get returns a zeroed packet from the pool holding one reference.
+// Every packet in the pool is already zeroed — Release clears before
+// Put, and the pool's New starts zero — so only the header is written.
 func Get() *Packet {
 	p := pool.Get().(*Packet)
-	*p = Packet{pooled: true, refs: 1}
+	p.pooled = true
+	p.refs = 1
 	return p
 }
 
@@ -259,11 +262,24 @@ func (p *Packet) Clone() *Packet {
 }
 
 // FloodKey identifies a flood instance for duplicate suppression tables.
+// Fields are deliberately narrow — terminal ids fit int32, the kind fits
+// a byte — so the whole key is 16 bytes: these keys are hashed and
+// compared once per received flood copy, and halving the key halves that
+// work. Build keys with Packet.Key or MakeFloodKey.
 type FloodKey struct {
-	Origin      int
-	Dst         int
+	Origin      int32
+	Dst         int32
 	BroadcastID uint32
-	Kind        Type
+	Kind        uint8
+}
+
+// Type reports the flood's packet kind as a packet.Type.
+func (k FloodKey) Type() Type { return Type(k.Kind) }
+
+// MakeFloodKey assembles a flood key from full-width components (reverse
+// lookups that reconstruct a key from packet fields use it).
+func MakeFloodKey(origin, dst int, broadcastID uint32, kind Type) FloodKey {
+	return FloodKey{Origin: int32(origin), Dst: int32(dst), BroadcastID: broadcastID, Kind: uint8(kind)}
 }
 
 // Key builds the duplicate-suppression key for flood packets. Origin is
@@ -274,5 +290,5 @@ func (p *Packet) Key() FloodKey {
 	if p.Type == TypeCSIC {
 		origin = p.Dst
 	}
-	return FloodKey{Origin: origin, Dst: p.Dst, BroadcastID: p.BroadcastID, Kind: p.Type}
+	return MakeFloodKey(origin, p.Dst, p.BroadcastID, p.Type)
 }

@@ -229,15 +229,16 @@ func (a *Agent) DataArrived(pkt *packet.Packet, now time.Duration) {
 // locally.
 func (a *Agent) LinkFailed(next int, pkt *packet.Packet, now time.Duration) {
 	a.core.Table.InvalidateNext(next)
+	dst := pkt.Dst // a full pending buffer drops (and recycles) pkt inside BufferForRepair
 	if pkt.Src == a.env.ID() {
 		// The source pivot also repairs locally first; a failed repair
 		// falls back to a broadcast query via onQueryFailed.
 		a.core.BufferForRepair(pkt, now)
-		a.core.StartQuery(pkt.Dst, packet.TypeLQ, a.cfg.RepairTTL, now)
+		a.core.StartQuery(dst, packet.TypeLQ, a.cfg.RepairTTL, now)
 		return
 	}
 	a.core.BufferForRepair(pkt, now)
-	a.core.StartQuery(pkt.Dst, packet.TypeLQ, a.cfg.RepairTTL, now)
+	a.core.StartQuery(dst, packet.TypeLQ, a.cfg.RepairTTL, now)
 }
 
 // onQueryFailed: a failed localized query reports the break to the flow

@@ -144,9 +144,10 @@ func (a *Agent) DataArrived(pkt *packet.Packet, now time.Duration) {
 // the source is told only if the localized query fails.
 func (a *Agent) LinkFailed(next int, pkt *packet.Packet, now time.Duration) {
 	a.core.Table.InvalidateNext(next)
+	dst := pkt.Dst // a full pending buffer drops (and recycles) pkt inside BufferForRepair
 	a.core.BufferForRepair(pkt, now)
-	a.guarding[pkt.Dst] = false // a break escalates past guard semantics
-	a.core.StartQuery(pkt.Dst, packet.TypeLQ, a.cfg.RepairTTL, now)
+	a.guarding[dst] = false // a break escalates past guard semantics
+	a.core.StartQuery(dst, packet.TypeLQ, a.cfg.RepairTTL, now)
 }
 
 // onQueryFailed reports repair failure upstream. A failed *guard* query is

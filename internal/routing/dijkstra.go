@@ -1,29 +1,77 @@
 package routing
 
-import (
-	"container/heap"
-	"sort"
-)
-
 // Graph is a weighted adjacency structure over terminals 0..N-1, used by
 // the link-state protocol's per-node topology views. Edge weights are the
 // CSI hop distances of the paper's cost model.
+//
+// Adjacency is kept as per-node edge lists sorted by neighbour id: the
+// paper-scale degree is around ten, where a binary-searched slice beats a
+// map on every operation, iteration order is deterministic without a
+// per-visit sort, and the Dijkstra inner loop walks contiguous memory.
 type Graph struct {
 	n   int
-	adj []map[int]float64
+	adj [][]gedge
+
+	// spt is the reusable ShortestPaths workspace. A link-state terminal
+	// recomputes its tree on every topology change — the single largest
+	// allocation source of the figure pipeline before the scratch was
+	// recycled.
+	spt sptScratch
+}
+
+// gedge is one directed half of an undirected edge.
+type gedge struct {
+	to int32
+	w  float64
+}
+
+type sptScratch struct {
+	heap []distItem
+	done []bool
 }
 
 // NewGraph returns an empty graph over n terminals.
 func NewGraph(n int) *Graph {
-	g := &Graph{n: n, adj: make([]map[int]float64, n)}
-	for i := range g.adj {
-		g.adj[i] = make(map[int]float64)
-	}
-	return g
+	return &Graph{n: n, adj: make([][]gedge, n)}
 }
 
 // N reports the number of terminals.
 func (g *Graph) N() int { return g.n }
+
+// edgeIdx returns the position of v in u's sorted edge list and whether
+// it is present; absent, the position is the insertion point.
+func (g *Graph) edgeIdx(u, v int) (int, bool) {
+	es := g.adj[u]
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(es[mid].to) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(es) && int(es[lo].to) == v
+}
+
+func (g *Graph) setHalf(u, v int, w float64) {
+	i, ok := g.edgeIdx(u, v)
+	if ok {
+		g.adj[u][i].w = w
+		return
+	}
+	es := append(g.adj[u], gedge{})
+	copy(es[i+1:], es[i:])
+	es[i] = gedge{to: int32(v), w: w}
+	g.adj[u] = es
+}
+
+func (g *Graph) dropHalf(u, v int) {
+	if i, ok := g.edgeIdx(u, v); ok {
+		es := g.adj[u]
+		g.adj[u] = append(es[:i], es[i+1:]...)
+	}
+}
 
 // SetEdge installs the undirected edge (u, v) with weight w, replacing any
 // previous weight. Non-positive or infinite weights remove the edge.
@@ -32,12 +80,12 @@ func (g *Graph) SetEdge(u, v int, w float64) {
 		return
 	}
 	if w <= 0 || w >= InfiniteHops {
-		delete(g.adj[u], v)
-		delete(g.adj[v], u)
+		g.dropHalf(u, v)
+		g.dropHalf(v, u)
 		return
 	}
-	g.adj[u][v] = w
-	g.adj[v][u] = w
+	g.setHalf(u, v, w)
+	g.setHalf(v, u, w)
 }
 
 // RemoveEdge deletes the undirected edge (u, v).
@@ -45,17 +93,31 @@ func (g *Graph) RemoveEdge(u, v int) { g.SetEdge(u, v, 0) }
 
 // Edge reports the weight of (u, v) and whether it exists.
 func (g *Graph) Edge(u, v int) (float64, bool) {
-	w, ok := g.adj[u][v]
-	return w, ok
+	if i, ok := g.edgeIdx(u, v); ok {
+		return g.adj[u][i].w, true
+	}
+	return 0, false
 }
 
 // ClearNode removes every edge incident to u (a terminal whose LSA now
 // advertises a different neighbour set).
 func (g *Graph) ClearNode(u int) {
-	for v := range g.adj[u] {
-		delete(g.adj[v], u)
+	for _, e := range g.adj[u] {
+		g.dropHalf(int(e.to), u)
 	}
-	g.adj[u] = make(map[int]float64)
+	g.adj[u] = g.adj[u][:0]
+}
+
+// CopyFrom replaces g's edges with src's. Both graphs must cover the same
+// terminal count; the receiver's storage is reused. Link-state agents
+// install the shared boot topology into their private views with it.
+func (g *Graph) CopyFrom(src *Graph) {
+	if g.n != src.n {
+		panic("routing: CopyFrom across different graph sizes")
+	}
+	for i := range g.adj {
+		g.adj[i] = append(g.adj[i][:0], src.adj[i]...)
+	}
 }
 
 // InfiniteHops mirrors channel.Class.HopDistance's sentinel without
@@ -65,36 +127,39 @@ const InfiniteHops = 1e9
 // ShortestPaths runs Dijkstra from src and returns, for every terminal,
 // the first hop on a shortest path from src (or -1 if unreachable) and the
 // total distance. The next-hop array is what link-state forwarding uses.
-func (g *Graph) ShortestPaths(src int) (next []int, dist []float64) {
-	next = make([]int, g.n)
-	dist = make([]float64, g.n)
-	for i := range next {
-		next[i] = -1
-		dist[i] = InfiniteHops
+// The two result slices are appended to next and dist (pass buffers from
+// the previous recompute to make the call allocation-free in the steady
+// state); the internal queue and visit set are recycled on the graph.
+func (g *Graph) ShortestPaths(src int, next []int, dist []float64) ([]int, []float64) {
+	next = next[:0]
+	dist = dist[:0]
+	for i := 0; i < g.n; i++ {
+		next = append(next, -1)
+		dist = append(dist, InfiniteHops)
 	}
 	dist[src] = 0
 
-	pq := &distHeap{}
-	heap.Push(pq, distItem{node: src, dist: 0})
-	done := make([]bool, g.n)
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(distItem)
+	if cap(g.spt.done) < g.n {
+		g.spt.done = make([]bool, g.n)
+	}
+	done := g.spt.done[:g.n]
+	for i := range done {
+		done[i] = false
+	}
+	pq := distHeap(g.spt.heap[:0])
+	pq.push(distItem{node: src, dist: 0})
+	for len(pq) > 0 {
+		it := pq.pop()
 		u := it.node
 		if done[u] {
 			continue
 		}
 		done[u] = true
-		// Iterate neighbours in sorted order: map order is randomized per
-		// process, and equal-cost tie-breaks must be deterministic for
-		// reproducible trials.
-		nbrs := make([]int, 0, len(g.adj[u]))
-		for v := range g.adj[u] {
-			nbrs = append(nbrs, v)
-		}
-		sort.Ints(nbrs)
-		for _, v := range nbrs {
-			w := g.adj[u][v]
-			nd := dist[u] + w
+		// Edge lists are sorted by neighbour id, so equal-cost tie-breaks
+		// relax in deterministic order for reproducible trials.
+		for _, e := range g.adj[u] {
+			v := int(e.to)
+			nd := dist[u] + e.w
 			if nd < dist[v] {
 				dist[v] = nd
 				if u == src {
@@ -102,10 +167,11 @@ func (g *Graph) ShortestPaths(src int) (next []int, dist []float64) {
 				} else {
 					next[v] = next[u]
 				}
-				heap.Push(pq, distItem{node: v, dist: nd})
+				pq.push(distItem{node: v, dist: nd})
 			}
 		}
 	}
+	g.spt.heap = pq[:0]
 	return next, dist
 }
 
@@ -114,21 +180,54 @@ type distItem struct {
 	dist float64
 }
 
+// distHeap is a hand-rolled binary min-heap over (dist, node). The
+// ordering has no ties — node ids break them — so the pop sequence is the
+// unique sorted frontier regardless of internal layout, and avoiding
+// container/heap spares an interface boxing per operation.
 type distHeap []distItem
 
-func (h distHeap) Len() int { return len(h) }
-func (h distHeap) Less(i, j int) bool {
+func (h distHeap) less(i, j int) bool {
 	if h[i].dist != h[j].dist {
 		return h[i].dist < h[j].dist
 	}
 	return h[i].node < h[j].node
 }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
-func (h *distHeap) Pop() interface{} {
+
+func (h *distHeap) push(it distItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() distItem {
 	old := *h
 	n := len(old)
-	it := old[n-1]
+	top := old[0]
+	old[0] = old[n-1]
 	*h = old[:n-1]
-	return it
+	n--
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		(*h)[i], (*h)[least] = (*h)[least], (*h)[i]
+		i = least
+	}
+	return top
 }

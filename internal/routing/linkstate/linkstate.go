@@ -72,6 +72,7 @@ type Agent struct {
 	relay        *routing.DelayedSender
 
 	sptNext  []int
+	sptDist  []float64 // recycled alongside sptNext between recomputes
 	sptDirty bool
 }
 
@@ -92,13 +93,7 @@ func New(env network.Env, cfg Config, boot *routing.Graph) *Agent {
 		sptDirty: true,
 	}
 	n := env.NumNodes()
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if w, ok := boot.Edge(i, j); ok {
-				a.topo.SetEdge(i, j, w)
-			}
-		}
-	}
+	a.topo.CopyFrom(boot)
 	self := env.ID()
 	for j := 0; j < n; j++ {
 		if w, ok := boot.Edge(self, j); ok {
@@ -273,7 +268,7 @@ func (a *Agent) applyLSA(pkt *packet.Packet) {
 // of "the forwarding state changed".
 func (a *Agent) nextHop(dst int) int {
 	if a.sptDirty {
-		a.sptNext, _ = a.topo.ShortestPaths(a.env.ID())
+		a.sptNext, a.sptDist = a.topo.ShortestPaths(a.env.ID(), a.sptNext, a.sptDist)
 		a.sptDirty = false
 		if obs, ok := a.env.(routing.TableObserver); ok {
 			obs.NoteRouteInstalled()

@@ -175,13 +175,14 @@ func (c *Core) Forward(pkt *packet.Packet, now time.Duration) bool {
 // BufferAndDiscover holds pkt and ensures a full discovery flood toward
 // its destination is running.
 func (c *Core) BufferAndDiscover(pkt *packet.Packet, now time.Duration) {
-	p := c.pending[pkt.Dst]
+	dst := pkt.Dst // a full buffer drops (and recycles) pkt inside Add
+	p := c.pending[dst]
 	if p == nil {
 		p = &Pending{}
-		c.pending[pkt.Dst] = p
+		c.pending[dst] = p
 	}
 	p.Add(pkt, now, c.env)
-	c.StartQuery(pkt.Dst, packet.TypeRREQ, 0, now)
+	c.StartQuery(dst, packet.TypeRREQ, 0, now)
 }
 
 // BufferForRepair holds pkt while a localized repair query runs (BGCA,
@@ -350,14 +351,14 @@ func (c *Core) reply(src int, key packet.FloodKey, gs *gatherState, now time.Dur
 	}
 	gs.replied = true
 	kind := packet.TypeRREP
-	if key.Kind == packet.TypeLQ {
+	if key.Type() == packet.TypeLQ {
 		kind = packet.TypeLREP
 	}
 	rep := packet.Get() // recycled by the MAC layer after transmission
 	rep.CopyFrom(&packet.Packet{
 		Type:        kind,
-		Src:         src,     // travels toward the query's origin
-		Dst:         key.Dst, // the flow destination routes point toward
+		Src:         src,          // travels toward the query's origin
+		Dst:         int(key.Dst), // the flow destination routes point toward
 		To:          gs.best.From,
 		Size:        packet.SizeOf(kind),
 		BroadcastID: key.BroadcastID,
@@ -396,9 +397,7 @@ func (c *Core) handleReply(pkt *packet.Packet, now time.Duration) {
 	if pkt.Type == packet.TypeLREP {
 		queryKind = packet.TypeLQ
 	}
-	rec, ok := c.hist.Lookup(packet.FloodKey{
-		Origin: pkt.Src, Dst: pkt.Dst, BroadcastID: pkt.BroadcastID, Kind: queryKind,
-	})
+	rec, ok := c.hist.Lookup(packet.MakeFloodKey(pkt.Src, pkt.Dst, pkt.BroadcastID, queryKind))
 	if !ok {
 		return // reverse path lost; the query will time out and retry
 	}
@@ -440,8 +439,9 @@ func (c *Core) LinkFailed(next int, pkt *packet.Packet, now time.Duration) {
 		c.BufferAndDiscover(pkt, now)
 		return
 	}
+	src, dst := pkt.Src, pkt.Dst // DropData recycles the packet
 	c.env.DropData(pkt, network.DropLinkBreak)
-	c.SendREER(pkt.Src, pkt.Dst, now)
+	c.SendREER(src, dst, now)
 }
 
 // SendREER unicasts a route error toward the flow's source along the

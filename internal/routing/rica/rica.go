@@ -86,13 +86,18 @@ type Agent struct {
 	core *routing.Core
 
 	// Intermediate state: possible downstream per destination, learned
-	// from the first copy of each checking packet.
-	cand map[int]candidate
+	// from the first copy of each checking packet. Dense slices indexed
+	// by destination id — every received checking packet writes here, and
+	// a map assignment per copy was a measurable slice of the flood path.
+	cand    []candidate
+	candSet []bool
 
 	// Source state: per destination, the gathering of checking packets
-	// and the time the last one arrived (REER suppression).
+	// and the time the last one arrived (REER suppression; dense slices
+	// for the same reason as cand).
 	collect  map[int]*csicCollect
-	lastCSIC map[int]time.Duration
+	lastCSIC []time.Duration
+	csicSeen []bool
 
 	// Destination state: one checker per incoming flow source.
 	checkers map[int]*checker
@@ -133,9 +138,11 @@ func New(env network.Env, cfg Config) *Agent {
 	a := &Agent{
 		env:      env,
 		cfg:      cfg,
-		cand:     make(map[int]candidate),
+		cand:     make([]candidate, env.NumNodes()),
+		candSet:  make([]bool, env.NumNodes()),
 		collect:  make(map[int]*csicCollect),
-		lastCSIC: make(map[int]time.Duration),
+		lastCSIC: make([]time.Duration, env.NumNodes()),
+		csicSeen: make([]bool, env.NumNodes()),
 		checkers: make(map[int]*checker),
 	}
 	a.core = routing.NewCore(env, routing.CoreConfig{
@@ -172,7 +179,7 @@ func (a *Agent) RouteData(pkt *packet.Packet, now time.Duration) {
 	if a.core.Forward(pkt, now) {
 		return
 	}
-	if c, ok := a.cand[pkt.Dst]; ok && now-c.at <= time.Duration(candidateLifetime)*a.cfg.CheckInterval {
+	if c := a.cand[pkt.Dst]; a.candSet[pkt.Dst] && now-c.at <= time.Duration(candidateLifetime)*a.cfg.CheckInterval {
 		if pkt.Src == a.env.ID() || c.next != pkt.From { // split horizon
 			a.core.Table.Install(pkt.Dst, c.next, c.hop, c.geo, now)
 			a.env.EnqueueData(pkt, c.next)
@@ -218,15 +225,15 @@ func (a *Agent) LinkFailed(next int, pkt *packet.Packet, now time.Duration) {
 		a.core.BufferAndDiscover(pkt, now)
 		return
 	}
+	src, dst := pkt.Src, pkt.Dst // DropData recycles the packet
 	a.env.DropData(pkt, network.DropLinkBreak)
-	a.core.SendREER(pkt.Src, pkt.Dst, now)
+	a.core.SendREER(src, dst, now)
 }
 
 // suppressREER reports whether checking packets for dst arrived recently
 // enough that rediscovery is unnecessary.
 func (a *Agent) suppressREER(dst int, now time.Duration) bool {
-	last, ok := a.lastCSIC[dst]
-	return ok && now-last <= 2*a.cfg.CheckInterval
+	return a.csicSeen[dst] && now-a.lastCSIC[dst] <= 2*a.cfg.CheckInterval
 }
 
 // --- Destination side: the CSI checker ----------------------------------
@@ -336,6 +343,7 @@ func (a *Agent) handleCSIC(pkt *packet.Packet, now time.Duration) {
 	// us, keeping lazy path activation consistent with the metric the
 	// source compared.
 	a.cand[pkt.Dst] = candidate{next: pkt.From, hop: pkt.HopCount, geo: pkt.GeoHops, at: now}
+	a.candSet[pkt.Dst] = true
 
 	if pkt.TTL != 0 {
 		pkt.TTL--
@@ -355,6 +363,7 @@ func (a *Agent) handleCSIC(pkt *packet.Packet, now time.Duration) {
 func (a *Agent) gatherAtSource(pkt *packet.Packet, now time.Duration) {
 	dst := pkt.Dst
 	a.lastCSIC[dst] = now
+	a.csicSeen[dst] = true
 	cand := candidate{next: pkt.From, hop: pkt.HopCount, geo: pkt.GeoHops, at: now}
 	col := a.collect[dst]
 	if col == nil {
@@ -399,7 +408,8 @@ func (a *Agent) decideRoute(dst int, now time.Duration) {
 // handleRUPD activates this terminal's pending downstream pointer: the
 // source has adopted a route whose first hop is us.
 func (a *Agent) handleRUPD(pkt *packet.Packet, now time.Duration) {
-	if c, ok := a.cand[pkt.Dst]; ok {
+	if a.candSet[pkt.Dst] {
+		c := a.cand[pkt.Dst]
 		a.core.Table.Install(pkt.Dst, c.next, c.hop, c.geo, now)
 	}
 }

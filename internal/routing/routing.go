@@ -173,17 +173,107 @@ func (t *Table) InvalidateNext(next int) []int {
 // which the RREP later retraces. Records are stored by value: a network
 // sees one new flood instance per received copy of every query round, and
 // boxing each record was the simulator's largest residual allocation.
+//
+// Storage is a linear-probed open-addressing table keyed on flood keys
+// packed into one uint64 — every received flood copy performs at least
+// one history lookup, and the packed probe (a multiply-shift hash, no
+// write barriers, records inline) is the cheapest exact structure for
+// it. Keys that cannot pack (beyond 2^17 terminals or 2^26 flood rounds)
+// spill into an ordinary map; the two tiers partition the key space, so
+// behaviour is identical to a single map.
 type History struct {
-	seen map[packet.FloodKey]FloodRecord
+	keys []uint64 // packed keys; 0 marks an empty slot (Kind is never 0)
+	recs []FloodRecord
+	used int
+
+	spill map[packet.FloodKey]FloodRecord // unpackable keys only
 
 	// One-entry MRU cache. Flood copies arrive in bursts keyed by the
 	// same instance, and the common case (a non-improving duplicate) is a
-	// pure read — the cache answers it without touching the map. The map
-	// is written through on every update, so the cache is never the only
-	// holder of a record.
+	// pure read — the cache answers it without touching the table. The
+	// table is written through on every update, so the cache is never the
+	// only holder of a record.
 	lastKey packet.FloodKey
 	lastRec FloodRecord
 	lastOK  bool
+}
+
+// historyInitSlots sizes a fresh table; grows by doubling at ~3/4 load.
+const historyInitSlots = 64
+
+// packKey folds a FloodKey into a nonzero uint64: origin and dst in 17
+// bits each (covering scenario.MaxNodes), the kind in 4, the broadcast
+// id in 26. Reports false for keys outside those ranges, which take the
+// spill path.
+func packKey(k packet.FloodKey) (uint64, bool) {
+	if uint32(k.Origin) >= 1<<17 || uint32(k.Dst) >= 1<<17 ||
+		k.BroadcastID >= 1<<26 || k.Kind >= 1<<4 || k.Kind == 0 {
+		return 0, false
+	}
+	return uint64(k.Origin)<<47 | uint64(k.Dst)<<30 | uint64(k.Kind)<<26 | uint64(k.BroadcastID), true
+}
+
+// find returns the slot holding pk, or the empty slot where it belongs.
+func (h *History) find(pk uint64) int {
+	mask := uint64(len(h.keys) - 1)
+	i := (pk * 0x9E3779B97F4A7C15) >> 32 & mask
+	for {
+		if k := h.keys[i]; k == pk || k == 0 {
+			return int(i)
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// get looks a key up across both tiers.
+func (h *History) get(key packet.FloodKey) (FloodRecord, bool) {
+	if pk, ok := packKey(key); ok {
+		if len(h.keys) == 0 {
+			return FloodRecord{}, false
+		}
+		i := h.find(pk)
+		return h.recs[i], h.keys[i] == pk
+	}
+	rec, ok := h.spill[key]
+	return rec, ok
+}
+
+// put inserts or overwrites a record.
+func (h *History) put(key packet.FloodKey, rec FloodRecord) {
+	pk, ok := packKey(key)
+	if !ok {
+		if h.spill == nil {
+			h.spill = make(map[packet.FloodKey]FloodRecord)
+		}
+		h.spill[key] = rec
+		return
+	}
+	if h.used*4 >= len(h.keys)*3 { // includes the empty-table case
+		h.grow()
+	}
+	i := h.find(pk)
+	if h.keys[i] == 0 {
+		h.keys[i] = pk
+		h.used++
+	}
+	h.recs[i] = rec
+}
+
+func (h *History) grow() {
+	oldKeys, oldRecs := h.keys, h.recs
+	n := 2 * len(oldKeys)
+	if n == 0 {
+		n = historyInitSlots
+	}
+	h.keys = make([]uint64, n)
+	h.recs = make([]FloodRecord, n)
+	for i, k := range oldKeys {
+		if k != 0 {
+			j := h.find(k)
+			h.keys[j] = k
+			h.recs[j] = oldRecs[i]
+		}
+	}
 }
 
 // FloodRecord is what the history keeps per flood instance.
@@ -199,7 +289,7 @@ type FloodRecord struct {
 
 // NewHistory returns an empty flood history.
 func NewHistory() *History {
-	return &History{seen: make(map[packet.FloodKey]FloodRecord)}
+	return &History{}
 }
 
 // FirstCopy records pkt's flood instance if unseen and reports whether
@@ -210,12 +300,12 @@ func (h *History) FirstCopy(pkt *packet.Packet, now time.Duration) (FloodRecord,
 	if h.lastOK && key == h.lastKey {
 		return h.lastRec, false
 	}
-	if rec, ok := h.seen[key]; ok {
+	if rec, ok := h.get(key); ok {
 		h.lastKey, h.lastRec, h.lastOK = key, rec, true
 		return rec, false
 	}
 	rec := FloodRecord{FirstFrom: pkt.From, HopCount: pkt.HopCount, GeoHops: pkt.GeoHops, At: now}
-	h.seen[key] = rec
+	h.put(key, rec)
 	h.lastKey, h.lastRec, h.lastOK = key, rec, true
 	return rec, true
 }
@@ -237,17 +327,17 @@ func (h *History) Improved(pkt *packet.Packet, now time.Duration) (FloodRecord, 
 	rec, cached := h.lastRec, h.lastOK && key == h.lastKey
 	if !cached {
 		var ok bool
-		rec, ok = h.seen[key]
+		rec, ok = h.get(key)
 		if !ok {
 			rec = FloodRecord{FirstFrom: pkt.From, HopCount: pkt.HopCount, GeoHops: pkt.GeoHops, At: now}
-			h.seen[key] = rec
+			h.put(key, rec)
 			h.lastKey, h.lastRec, h.lastOK = key, rec, true
 			return rec, true
 		}
 	}
 	if pkt.HopCount < rec.HopCount-metricImprovement {
 		rec = FloodRecord{FirstFrom: pkt.From, HopCount: pkt.HopCount, GeoHops: pkt.GeoHops, At: now}
-		h.seen[key] = rec
+		h.put(key, rec)
 		h.lastKey, h.lastRec, h.lastOK = key, rec, true
 		return rec, true
 	}
@@ -259,8 +349,7 @@ func (h *History) Improved(pkt *packet.Packet, now time.Duration) (FloodRecord, 
 
 // Lookup fetches the record for a previously seen flood, if any.
 func (h *History) Lookup(key packet.FloodKey) (FloodRecord, bool) {
-	rec, ok := h.seen[key]
-	return rec, ok
+	return h.get(key)
 }
 
 // Pending buffers data packets waiting for a route to one destination.

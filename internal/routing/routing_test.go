@@ -8,6 +8,7 @@ import (
 
 	"rica/internal/network"
 	"rica/internal/packet"
+	"rica/internal/routing/routingtest"
 )
 
 func TestTableLookupInstallInvalidate(t *testing.T) {
@@ -165,7 +166,7 @@ func TestDijkstraLineGraph(t *testing.T) {
 	g.SetEdge(0, 1, 1)
 	g.SetEdge(1, 2, 1.67)
 	g.SetEdge(2, 3, 5)
-	next, dist := g.ShortestPaths(0)
+	next, dist := g.ShortestPaths(0, nil, nil)
 	if next[3] != 1 {
 		t.Fatalf("next hop toward 3 = %d, want 1", next[3])
 	}
@@ -183,7 +184,7 @@ func TestDijkstraPrefersCheapLongPath(t *testing.T) {
 	g.SetEdge(0, 2, 5)
 	g.SetEdge(0, 1, 1)
 	g.SetEdge(1, 2, 1)
-	next, dist := g.ShortestPaths(0)
+	next, dist := g.ShortestPaths(0, nil, nil)
 	if next[2] != 1 {
 		t.Fatalf("next hop = %d, want detour via 1", next[2])
 	}
@@ -196,7 +197,7 @@ func TestDijkstraUnreachable(t *testing.T) {
 	g := NewGraph(4)
 	g.SetEdge(0, 1, 1)
 	// 2,3 disconnected.
-	next, dist := g.ShortestPaths(0)
+	next, dist := g.ShortestPaths(0, nil, nil)
 	if next[2] != -1 || dist[2] < InfiniteHops {
 		t.Fatalf("unreachable node: next %d dist %v", next[2], dist[2])
 	}
@@ -207,7 +208,7 @@ func TestDijkstraEdgeRemoval(t *testing.T) {
 	g.SetEdge(0, 1, 1)
 	g.SetEdge(1, 2, 1)
 	g.RemoveEdge(1, 2)
-	next, _ := g.ShortestPaths(0)
+	next, _ := g.ShortestPaths(0, nil, nil)
 	if next[2] != -1 {
 		t.Fatal("removed edge still routable")
 	}
@@ -222,7 +223,7 @@ func TestDijkstraClearNode(t *testing.T) {
 	g.SetEdge(1, 2, 1)
 	g.SetEdge(1, 3, 1)
 	g.ClearNode(1)
-	next, _ := g.ShortestPaths(0)
+	next, _ := g.ShortestPaths(0, nil, nil)
 	for _, dst := range []int{1, 2, 3} {
 		if next[dst] != -1 {
 			t.Fatalf("route to %d survived ClearNode(1)", dst)
@@ -238,9 +239,9 @@ func TestDijkstraDeterministic(t *testing.T) {
 	g.SetEdge(0, 2, 1)
 	g.SetEdge(1, 3, 1)
 	g.SetEdge(2, 3, 1)
-	first, _ := g.ShortestPaths(0)
+	first, _ := g.ShortestPaths(0, nil, nil)
 	for i := 0; i < 50; i++ {
-		next, _ := g.ShortestPaths(0)
+		next, _ := g.ShortestPaths(0, nil, nil)
 		if next[3] != first[3] {
 			t.Fatal("equal-cost tie-break is nondeterministic")
 		}
@@ -265,7 +266,7 @@ func TestDijkstraMatchesBruteForce(t *testing.T) {
 				}
 			}
 		}
-		_, dist := g.ShortestPaths(0)
+		_, dist := g.ShortestPaths(0, nil, nil)
 		brute := bruteDistances(g, 0)
 		for v := 0; v < n; v++ {
 			if diff := dist[v] - brute[v]; diff > 1e-9 || diff < -1e-9 {
@@ -297,4 +298,115 @@ func bruteDistances(g *Graph, src int) []float64 {
 		}
 	}
 	return dist
+}
+
+// TestHistoryPackedTableMatchesMap drives the open-addressed history and
+// a plain map reference through a randomized flood-copy schedule —
+// including keys that overflow the packed ranges and spill — asserting
+// identical FirstCopy/Improved/Lookup answers throughout.
+func TestHistoryPackedTableMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistory()
+	ref := make(map[packet.FloodKey]FloodRecord)
+
+	for step := 0; step < 20000; step++ {
+		pkt := &packet.Packet{
+			Type:        packet.Type(1 + rng.Intn(11)),
+			Src:         rng.Intn(200),
+			Dst:         rng.Intn(200),
+			From:        rng.Intn(200),
+			BroadcastID: uint32(rng.Intn(300)),
+			HopCount:    float64(rng.Intn(40)),
+			GeoHops:     rng.Intn(12),
+		}
+		if step%97 == 0 {
+			pkt.Src = 1 << 20 // beyond the packed origin range: spill tier
+		}
+		key := pkt.Key()
+		now := time.Duration(step) * time.Millisecond
+
+		var wantRec FloodRecord
+		var wantNew bool
+		if rec, ok := ref[key]; ok {
+			wantRec, wantNew = rec, false
+		} else {
+			wantRec = FloodRecord{FirstFrom: pkt.From, HopCount: pkt.HopCount, GeoHops: pkt.GeoHops, At: now}
+			ref[key] = wantRec
+			wantNew = true
+		}
+
+		if rng.Intn(2) == 0 {
+			got, first := h.FirstCopy(pkt, now)
+			if first != wantNew || got != wantRec {
+				t.Fatalf("step %d: FirstCopy = (%+v, %v), reference (%+v, %v)", step, got, first, wantRec, wantNew)
+			}
+		} else {
+			wantImproved := wantNew
+			if !wantNew && pkt.HopCount < wantRec.HopCount-metricImprovement {
+				wantRec = FloodRecord{FirstFrom: pkt.From, HopCount: pkt.HopCount, GeoHops: pkt.GeoHops, At: now}
+				ref[key] = wantRec
+				wantImproved = true
+			}
+			got, improved := h.Improved(pkt, now)
+			if improved != wantImproved || got != wantRec {
+				t.Fatalf("step %d: Improved = (%+v, %v), reference (%+v, %v)", step, got, improved, wantRec, wantImproved)
+			}
+		}
+		if got, ok := h.Lookup(key); !ok || got != ref[key] {
+			t.Fatalf("step %d: Lookup = (%+v, %v), reference (%+v, true)", step, got, ok, ref[key])
+		}
+	}
+}
+
+// releasingEnv mimics the production network.Node contract that
+// DropData is a terminal sink: the dropped packet is released back to
+// the pool (where it is zeroed and may be reused immediately).
+type releasingEnv struct {
+	*routingtest.Env
+}
+
+func (e releasingEnv) DropData(pkt *packet.Packet, reason network.DropReason) {
+	e.Env.DropData(pkt, reason)
+	pkt.Release()
+}
+
+// TestBufferAndDiscoverSurvivesCongestionRecycle regression-tests the
+// pooled-packet congestion path: when the pending buffer is already at
+// capacity, Add drops and recycles the incoming packet — the discovery
+// flood must still target the packet's real destination, not whatever a
+// recycled (zeroed) record reports.
+func TestBufferAndDiscoverSurvivesCongestionRecycle(t *testing.T) {
+	env := releasingEnv{routingtest.New(3, 10)}
+	core := NewCore(env, CoreConfig{Accumulate: func(*packet.Packet) {}})
+
+	const dst = 7
+	for i := 0; i < PendingCap; i++ {
+		filler := packet.Get()
+		filler.Type, filler.Src, filler.Dst = packet.TypeData, env.ID(), dst
+		core.BufferAndDiscover(filler, 0)
+	}
+	env.Reset() // keep only the traffic caused by the overflowing packet
+
+	over := packet.Get()
+	over.Type, over.Src, over.Dst = packet.TypeData, env.ID(), dst
+	core.BufferAndDiscover(over, 0)
+
+	drops := env.Drops
+	if len(drops) != 1 || drops[0].Reason != network.DropCongestion {
+		t.Fatalf("overflow packet not dropped as congestion: %+v", drops)
+	}
+	// The query toward dst is already outstanding from the fill phase, so
+	// no packet may have been sent at all — and in particular no spurious
+	// RREQ toward terminal 0 (the zero value a recycled packet reports).
+	for _, p := range env.Sent {
+		if p.Type == packet.TypeRREQ && p.Dst != dst {
+			t.Fatalf("discovery flood targeted %d, want %d", p.Dst, dst)
+		}
+	}
+	if _, running := core.queries[0]; running {
+		t.Fatal("spurious discovery toward terminal 0 after congestion recycle")
+	}
+	if _, running := core.queries[dst]; !running {
+		t.Fatal("discovery toward the real destination was lost")
+	}
 }

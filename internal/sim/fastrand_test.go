@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastSourceVerified asserts the init-time proof ran and passed on
+// this toolchain: if math/rand's source ever changes shape, this fails
+// loudly (and Streams silently falls back to the stock source, so
+// correctness never depended on it).
+func TestFastSourceVerified(t *testing.T) {
+	if !fastSourceOK {
+		t.Fatal("fastSource self-check failed: jump-ahead seeding no longer matches math/rand")
+	}
+}
+
+// TestFastSourceMatchesStdlibDraws compares full rand.Rand streams —
+// Uint64, Int63n, Float64, NormFloat64, ExpFloat64 — over the replica
+// and the stock source across seeds, far past the 607-word lap so the
+// additive feedback has fully taken over from the seeded state.
+func TestFastSourceMatchesStdlibDraws(t *testing.T) {
+	for _, seed := range []int64{0, 1, -1, 42, 1 << 40, -(1 << 50), 1<<31 - 1, 1 << 31} {
+		fast := rand.New(newFastSource(seed))
+		std := rand.New(rand.NewSource(seed))
+		for k := 0; k < 3000; k++ {
+			if a, b := fast.Uint64(), std.Uint64(); a != b {
+				t.Fatalf("seed %d draw %d: Uint64 %d != %d", seed, k, a, b)
+			}
+			if a, b := fast.Int63n(1_000_003), std.Int63n(1_000_003); a != b {
+				t.Fatalf("seed %d draw %d: Int63n %d != %d", seed, k, a, b)
+			}
+			if a, b := fast.Float64(), std.Float64(); a != b {
+				t.Fatalf("seed %d draw %d: Float64 %x != %x", seed, k, a, b)
+			}
+			if a, b := fast.NormFloat64(), std.NormFloat64(); a != b {
+				t.Fatalf("seed %d draw %d: NormFloat64 %x != %x", seed, k, a, b)
+			}
+			if a, b := fast.ExpFloat64(), std.ExpFloat64(); a != b {
+				t.Fatalf("seed %d draw %d: ExpFloat64 %x != %x", seed, k, a, b)
+			}
+		}
+	}
+}
+
+// TestFastSourceReseed checks Seed reuses a source correctly: a reseeded
+// replica must restart the exact stdlib sequence for the new seed.
+func TestFastSourceReseed(t *testing.T) {
+	s := newFastSource(1)
+	for k := 0; k < 100; k++ {
+		s.Uint64()
+	}
+	s.Seed(999)
+	ref := rand.NewSource(999).(rand.Source64)
+	for k := 0; k < 1300; k++ {
+		if a, b := s.Uint64(), ref.Uint64(); a != b {
+			t.Fatalf("draw %d after reseed: %d != %d", k, a, b)
+		}
+	}
+}
+
+// BenchmarkSourceSeedingStd and BenchmarkSourceSeedingFast quantify the
+// seeding speedup the lazy fading-link path rides.
+func BenchmarkSourceSeedingStd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rand.NewSource(int64(i + 1))
+	}
+}
+
+func BenchmarkSourceSeedingFast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		newFastSource(int64(i + 1))
+	}
+}

@@ -1,6 +1,13 @@
 package sim
 
-import "time"
+import (
+	"math/bits"
+	"time"
+)
+
+// trailingZeros is bits.TrailingZeros64 under a local name (the bitmap
+// scan reads better with it).
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
 
 // event is a single queue entry. Events are ordered by (at, seq): seq is a
 // strictly increasing scheduling counter, so two events scheduled for the
@@ -59,6 +66,10 @@ func ladderWin(t time.Duration) int64 { return int64(t) >> ladderShift }
 // eventQueue is the kernel's two-tier pending-event store.
 type eventQueue struct {
 	slots [ladderBuckets][]*event
+	// busy is a bitmap of nonempty slots (bit k ↔ slots[k]): pop jumps
+	// over runs of empty windows with a trailing-zeros scan instead of
+	// probing them one by one — the dominant cost of sparse phases.
+	busy [ladderBuckets / 64]uint64
 	// slotCount is how many events (live + cancelled) sit in slots.
 	slotCount int
 	// minWin is a lower bound on the window number of every slotted
@@ -66,6 +77,32 @@ type eventQueue struct {
 	minWin int64
 	// far holds events beyond the bucket horizon, ordered by (at, seq).
 	far eventHeap
+}
+
+// markBusy/clearBusy maintain the nonempty-slot bitmap.
+func (q *eventQueue) markBusy(slot int64)  { q.busy[slot>>6] |= 1 << (slot & 63) }
+func (q *eventQueue) clearBusy(slot int64) { q.busy[slot>>6] &^= 1 << (slot & 63) }
+
+// nextBusyWin returns the smallest window w' ≥ w whose slot is nonempty.
+// The caller guarantees at least one slot is nonempty; every slotted
+// event's window lies within [w, w+ladderBuckets) whenever w is a valid
+// lower bound, so the circular scan terminates within one lap.
+func (q *eventQueue) nextBusyWin(w int64) int64 {
+	slot := w & ladderMask
+	word := slot >> 6
+	// Mask off bits below the starting slot in its word.
+	bits := q.busy[word] >> (slot & 63)
+	if bits != 0 {
+		return w + int64(trailingZeros(bits))
+	}
+	advanced := 64 - (slot & 63) // to the start of the next word
+	for i := int64(1); i <= ladderBuckets/64; i++ {
+		bits = q.busy[(word+i)&(ladderBuckets/64-1)]
+		if bits != 0 {
+			return w + advanced + 64*(i-1) + int64(trailingZeros(bits))
+		}
+	}
+	return w // unreachable under the caller's nonempty guarantee
 }
 
 // size reports queued events, cancelled ones included.
@@ -81,8 +118,19 @@ func (q *eventQueue) push(ev *event, now time.Duration) {
 	q.far.push(ev)
 }
 
+// slotInitCap seeds a bucket's first allocation. Growing a nil slice to
+// useful size costs a ladder of tiny allocations (1, 2, 4, 8 capacities)
+// per active window; starting at the dense-band's typical occupancy
+// makes it one.
+const slotInitCap = 8
+
 func (q *eventQueue) pushSlot(ev *event, w int64) {
-	q.slots[w&ladderMask] = append(q.slots[w&ladderMask], ev)
+	s := q.slots[w&ladderMask]
+	if s == nil {
+		s = make([]*event, 0, slotInitCap)
+	}
+	q.slots[w&ladderMask] = append(s, ev)
+	q.markBusy(w & ladderMask)
 	q.slotCount++
 	if w < q.minWin || q.slotCount == 1 {
 		q.minWin = w
@@ -97,16 +145,14 @@ func (q *eventQueue) pop(now time.Duration, recycle func(*event)) *event {
 	if q.slotCount == 0 {
 		return nil
 	}
-	// Scan windows from the lower bound. A slot can also hold events one
-	// lap ahead (window w+ladderBuckets maps to the same slot while stale
-	// cancelled entries linger), so the per-window min considers only
-	// events whose window matches; later-lap events stay put.
+	// Scan windows from the lower bound, jumping empty runs via the busy
+	// bitmap. A slot can also hold events one lap ahead (window
+	// w+ladderBuckets maps to the same slot while stale cancelled entries
+	// linger), so the per-window min considers only events whose window
+	// matches; later-lap events stay put.
 	for w := q.minWin; ; w++ {
+		w = q.nextBusyWin(w)
 		s := q.slots[w&ladderMask]
-		if len(s) == 0 {
-			q.minWin = w + 1
-			continue
-		}
 		// Fast path: no cancelled entries (the common case) needs no
 		// compaction writes — one scan picks the minimum, one swap removes
 		// it.
@@ -131,6 +177,9 @@ func (q *eventQueue) pop(now time.Duration, recycle func(*event)) *event {
 			s[best] = s[last]
 			s[last] = nil
 			q.slots[w&ladderMask] = s[:last]
+			if last == 0 {
+				q.clearBusy(w & ladderMask)
+			}
 			q.slotCount--
 			q.minWin = w
 			return ev
@@ -171,6 +220,9 @@ func (q *eventQueue) scrubSlot(w int64, recycle func(*event)) int {
 		s[i] = nil // release compacted references
 	}
 	q.slots[w&ladderMask] = keep
+	if len(keep) == 0 {
+		q.clearBusy(w & ladderMask)
+	}
 	return best
 }
 
@@ -212,6 +264,9 @@ func (q *eventQueue) compact(recycle func(*event)) {
 			s[j] = nil
 		}
 		q.slots[i] = keep
+		if len(keep) == 0 {
+			q.clearBusy(int64(i))
+		}
 	}
 	live := q.far[:0]
 	for _, ev := range q.far {

@@ -53,10 +53,14 @@ type Kernel struct {
 	// cancelled; queue.size() − live is the lazily-cancelled backlog.
 	live int
 
-	// free is the event recycling pool. recycle is the bound method value
-	// handed to queue operations (built once to stay allocation-free).
-	free    []*event
-	recycle func(*event)
+	// free is the event recycling pool; fresh records come from chunk, a
+	// bump arena refilled eventChunk records at a time. recycle is the
+	// bound method value handed to queue operations (built once to stay
+	// allocation-free).
+	free      []*event
+	chunk     []event
+	chunkUsed int
+	recycle   func(*event)
 
 	// executed counts events dispatched since construction; useful for
 	// progress accounting and for benchmarks.
@@ -78,11 +82,27 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 // queued. Lazily-cancelled entries awaiting compaction are not counted.
 func (k *Kernel) Pending() int { return k.live }
 
-// alloc takes an event from the pool, or the heap when the pool is dry.
+// eventChunk is how many event records one arena refill carves at once.
+// Chunking trades one allocation per record for one per chunk: a fresh
+// kernel warming up to a thousand in-flight events pays ~16 allocations
+// instead of ~1000, and the records of a chunk sit contiguously, which
+// the dispatch loop's access pattern rewards.
+const eventChunk = 64
+
+// alloc takes an event from the recycle pool, falling back to a bump
+// allocation out of the current chunk (carving a fresh chunk when that
+// is spent). Records never leave the kernel, so chunks live exactly as
+// long as it does.
 func (k *Kernel) alloc() *event {
 	n := len(k.free)
 	if n == 0 {
-		return &event{}
+		if k.chunkUsed == len(k.chunk) {
+			k.chunk = make([]event, eventChunk)
+			k.chunkUsed = 0
+		}
+		ev := &k.chunk[k.chunkUsed]
+		k.chunkUsed++
+		return ev
 	}
 	ev := k.free[n-1]
 	k.free[n-1] = nil

@@ -123,14 +123,16 @@ func (r *flowRunner) tick(now time.Duration) {
 		return
 	}
 	r.g.nextID++
-	pkt := &packet.Packet{
-		Type:      packet.TypeData,
-		ID:        r.g.nextID,
-		Src:       r.f.Src,
-		Dst:       r.f.Dst,
-		Size:      packet.SizeData,
-		CreatedAt: now,
-	}
+	// Pooled: the network layer releases the packet when it is delivered
+	// or dropped, so the steady-state workload recycles a handful of
+	// records instead of allocating one per arrival.
+	pkt := packet.Get()
+	pkt.Type = packet.TypeData
+	pkt.ID = r.g.nextID
+	pkt.Src = r.f.Src
+	pkt.Dst = r.f.Dst
+	pkt.Size = packet.SizeData
+	pkt.CreatedAt = now
 	r.g.nodes[r.f.Src].OriginateData(pkt, now)
 	r.schedule()
 }

@@ -252,22 +252,24 @@ func New(cfg Config, factory AgentFactory) *World {
 // weights — the "accurate view of the network topology installed in each
 // mobile terminal" the paper gives the link-state protocol. The snapshot
 // is computed once and shared (it is read-only to agents by convention).
-// Candidate edges come from the channel's spatial index — O(n · density)
-// Class probes instead of the n(n−1)/2 all-pairs sweep.
+// Each terminal's edges come from one fused NeighborClasses scan — the
+// range filter and the class quantization happen in a single pass over
+// the channel's spatial index, and the j < i half of each row is answered
+// from the per-instant class cache the j > i half already filled.
 func (w *World) BootTopology() *routing.Graph {
 	if w.topo0 != nil {
 		return w.topo0
 	}
 	g := routing.NewGraph(w.Cfg.N)
-	var nbuf []int
+	var nbuf []channel.NeighborClass
 	for i := 0; i < w.Cfg.N; i++ {
-		nbuf = w.Model.Neighbors(i, 0, nbuf[:0])
-		for _, j := range nbuf {
-			if j <= i {
-				continue // each unordered pair probed once, in (i, j) order
+		nbuf = w.Model.NeighborClasses(i, 0, nbuf[:0])
+		for _, nc := range nbuf {
+			if nc.ID <= i {
+				continue // each unordered pair recorded once, in (i, j) order
 			}
-			if c := w.Model.Class(i, j, 0); c.Usable() {
-				g.SetEdge(i, j, c.HopDistance())
+			if nc.Class.Usable() {
+				g.SetEdge(i, nc.ID, nc.Class.HopDistance())
 			}
 		}
 	}
@@ -299,3 +301,9 @@ func (p pinned) Position(time.Duration) geom.Point { return geom.Point(p) }
 // PositionStableUntil implements channel.Stabler: a pinned terminal never
 // moves, so the channel snapshot layer never re-derives it.
 func (p pinned) PositionStableUntil(time.Duration) time.Duration { return mobility.StableForever }
+
+// PositionStable implements channel.PositionStabler (the fused form the
+// snapshot's miss path prefers).
+func (p pinned) PositionStable(time.Duration) (geom.Point, time.Duration) {
+	return geom.Point(p), mobility.StableForever
+}

@@ -1,36 +1,45 @@
 #!/usr/bin/env bash
 # allocgate.sh — the allocation-regression gate for CI.
 #
-# Runs BenchmarkSimulationThroughput with -benchmem and fails if allocs/op
-# exceeds the committed budget in scripts/alloc_budget.txt. Allocation
-# counts are nearly deterministic (unlike ns/op, which CI boxes are far too
-# noisy to assert on), so this catches "someone reintroduced a per-event
-# allocation" without flaky timing thresholds.
+# Runs every benchmark listed in scripts/alloc_budget.txt with -benchmem
+# and fails if its allocs/op exceeds the committed budget. Allocation
+# counts are nearly deterministic (unlike ns/op, which CI boxes are far
+# too noisy to assert on), so this catches "someone reintroduced a
+# per-event allocation" without flaky timing thresholds.
+#
+# Budget file format: one "BenchmarkName BUDGET" pair per line; blank
+# lines and #-comments ignored.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUDGET=$(grep -v '^#' scripts/alloc_budget.txt | head -1 | tr -d '[:space:]')
-if ! [[ "$BUDGET" =~ ^[0-9]+$ ]]; then
-    echo "allocgate: bad budget in scripts/alloc_budget.txt: '$BUDGET'" >&2
-    exit 2
-fi
+FAILED=0
+while read -r NAME BUDGET; do
+    case "$NAME" in ''|'#'*) continue ;; esac
+    if ! [[ "$BUDGET" =~ ^[0-9]+$ ]]; then
+        echo "allocgate: bad budget for $NAME in scripts/alloc_budget.txt: '$BUDGET'" >&2
+        exit 2
+    fi
 
-OUT=$(go test -run 'ZZnone' -bench 'BenchmarkSimulationThroughput$' -benchmem -benchtime 2x . 2>&1 | grep -E '^BenchmarkSimulationThroughput' || true)
-if [ -z "$OUT" ]; then
-    echo "allocgate: benchmark produced no output" >&2
-    exit 2
-fi
-echo "$OUT"
+    OUT=$(go test -run 'ZZnone' -bench "^${NAME}\$" -benchmem -benchtime 2x ./... 2>&1 | grep -E "^${NAME}\b" || true)
+    if [ -z "$OUT" ]; then
+        echo "allocgate: benchmark $NAME produced no output" >&2
+        exit 2
+    fi
+    echo "$OUT"
 
-ALLOCS=$(echo "$OUT" | awk '{for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") print $i}' | head -1)
-if ! [[ "$ALLOCS" =~ ^[0-9]+$ ]]; then
-    echo "allocgate: could not parse allocs/op from benchmark output" >&2
-    exit 2
-fi
+    ALLOCS=$(echo "$OUT" | awk '{for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") print $i}' | head -1)
+    if ! [[ "$ALLOCS" =~ ^[0-9]+$ ]]; then
+        echo "allocgate: could not parse allocs/op for $NAME" >&2
+        exit 2
+    fi
 
-if [ "$ALLOCS" -gt "$BUDGET" ]; then
-    echo "allocgate: FAIL — $ALLOCS allocs/op exceeds the budget of $BUDGET" >&2
-    echo "allocgate: if the increase is intentional, raise scripts/alloc_budget.txt in the same PR and say why" >&2
-    exit 1
-fi
-echo "allocgate: OK — $ALLOCS allocs/op within budget $BUDGET"
+    if [ "$ALLOCS" -gt "$BUDGET" ]; then
+        echo "allocgate: FAIL — $NAME: $ALLOCS allocs/op exceeds the budget of $BUDGET" >&2
+        echo "allocgate: if the increase is intentional, raise scripts/alloc_budget.txt in the same PR and say why" >&2
+        FAILED=1
+    else
+        echo "allocgate: OK — $NAME: $ALLOCS allocs/op within budget $BUDGET"
+    fi
+done < scripts/alloc_budget.txt
+
+exit "$FAILED"

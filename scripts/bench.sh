@@ -5,6 +5,8 @@
 #
 # Usage:
 #   scripts/bench.sh [-bench REGEX] [-benchtime SPEC] [-count N] [-label TEXT] [-out FILE]
+#                    [-cpuprofile FILE]
+#   scripts/bench.sh -diff BASELINE.json POST.json
 #
 # Defaults run the figure-scale suite plus the throughput benchmark a few
 # times and print the JSON to stdout. The schema per benchmark:
@@ -18,6 +20,13 @@
 #
 # Numbers are the per-benchmark MINIMUM across -count repetitions — the
 # least-noise estimate on a shared machine.
+#
+# -diff compares two such records (cmd/benchdiff) and prints the delta
+# summary BENCH_<n>.json files embed, so perf PRs stop hand-computing
+# ratios. -cpuprofile additionally runs ONE extra repetition of the
+# root-package benchmarks with the CPU profiler on, writing FILE (and
+# FILE.test, the binary to feed `go tool pprof`), so the next perf PR
+# starts from a captured profile instead of guesswork.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,19 +35,33 @@ BENCHTIME=5x
 COUNT=3
 LABEL=""
 OUT=""
+CPUPROFILE=""
 
 while [ $# -gt 0 ]; do
     case "$1" in
-        -bench)     BENCH="$2"; shift 2 ;;
-        -benchtime) BENCHTIME="$2"; shift 2 ;;
-        -count)     COUNT="$2"; shift 2 ;;
-        -label)     LABEL="$2"; shift 2 ;;
-        -out)       OUT="$2"; shift 2 ;;
+        -bench)      BENCH="$2"; shift 2 ;;
+        -benchtime)  BENCHTIME="$2"; shift 2 ;;
+        -count)      COUNT="$2"; shift 2 ;;
+        -label)      LABEL="$2"; shift 2 ;;
+        -out)        OUT="$2"; shift 2 ;;
+        -cpuprofile) CPUPROFILE="$2"; shift 2 ;;
+        -diff)
+            [ $# -eq 3 ] || { echo "bench.sh: -diff needs BASELINE.json POST.json" >&2; exit 2; }
+            exec go run ./cmd/benchdiff "$2" "$3"
+            ;;
         *) echo "bench.sh: unknown flag $1" >&2; exit 2 ;;
     esac
 done
 
 RAW=$(go test -run 'ZZnone' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./... 2>/dev/null | grep -E '^Benchmark')
+
+if [ -n "$CPUPROFILE" ]; then
+    # Profiling pass: root package only (go test writes one profile per
+    # package, and the figure/throughput benchmarks live at the root).
+    go test -run 'ZZnone' -bench "$BENCH" -benchtime "$BENCHTIME" -count 1 \
+        -cpuprofile "$CPUPROFILE" -o "$CPUPROFILE.test" . >/dev/null 2>&1
+    echo "wrote $CPUPROFILE (binary: $CPUPROFILE.test)" >&2
+fi
 
 JSON=$(printf '%s\n' "$RAW" | awk -v label="$LABEL" -v goversion="$(go env GOVERSION)" '
 {
