@@ -228,6 +228,36 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkInstrumentedThroughput is BenchmarkSimulationThroughput with
+// the full observability surface engaged: a caller-supplied registry, a
+// hub aggregating it (the -statsaddr path), and the pool stats callback.
+// Its allocation budget in scripts/alloc_budget.txt matches the plain
+// benchmark's — the gate that counters, gauges, and histogram observes
+// stay allocation-free on the hot path.
+func BenchmarkInstrumentedThroughput(b *testing.B) {
+	b.ReportAllocs()
+	hub := rica.NewObsHub()
+	hub.PoolFunc = rica.PoolStats
+	var events uint64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		reg := rica.NewObsRegistry()
+		hub.Attach(reg)
+		s := rica.Simulate(rica.SimConfig{
+			Protocol: rica.ProtocolRICA, MeanSpeedKmh: 36, Rate: 10,
+			Duration: 30 * time.Second, Seed: int64(i + 1), Obs: reg,
+		})
+		hub.Detach(reg)
+		events += s.Events
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+	if snap := hub.Snapshot(); snap.EventsDispatched != events {
+		b.Fatalf("hub folded %d events, runs reported %d", snap.EventsDispatched, events)
+	}
+}
+
 // BenchmarkAblationAdaptiveCheck compares the fixed 1 s checking period
 // against the volatility-adaptive one (the paper's aside that the period
 // should follow "the change speed of the link CSI").

@@ -21,8 +21,11 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -48,14 +51,61 @@ func main() {
 		out         = flag.String("out", "", "write batch results to this file (.json or .csv; default stdout)")
 		timeline    = flag.String("timeline", "", "write per-interval telemetry for every batch cell to this file (.csv for CSV, anything else for JSONL)")
 		interval    = flag.Duration("interval", time.Second, "telemetry bucket width for -timeline")
+		streaming   = flag.Bool("streaming", false, "bounded-memory -timeline percentiles (histogram approximation, ~3% error; see docs/OBSERVABILITY.md)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this file")
 		eventsRate  = flag.Bool("events-per-sec", false, "print kernel throughput (events simulated per wall-clock second) after the run")
+		stats       = flag.Duration("stats", 0, "emit a live counter heartbeat to stderr at this period (scenario batches; 0 disables)")
+		statsAddr   = flag.String("statsaddr", "", "serve live stats over HTTP on this address (GET /stats.json, /metrics)")
+		obsOut      = flag.String("obs", "", "write the end-of-process observability snapshot (counters + pool stats) to this JSON file")
 	)
 	flag.Parse()
 	meter.enabled = *eventsRate
 	meter.start = time.Now()
 	defer meter.print()
+
+	if flagSet("interval") && *interval <= 0 {
+		fatalf("-interval must be positive, got %v", *interval)
+	}
+	if *streaming && *timeline == "" {
+		fatalf("-streaming only applies to -timeline batches")
+	}
+	if *stats < 0 {
+		fatalf("-stats must be positive, got %v", *stats)
+	}
+	var hub *rica.ObsHub
+	if *stats > 0 || *statsAddr != "" || *obsOut != "" {
+		hub = rica.NewObsHub()
+		hub.PoolFunc = rica.PoolStats
+	}
+	if *statsAddr != "" {
+		ln, err := net.Listen("tcp", *statsAddr)
+		if err != nil {
+			fatalf("-statsaddr: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "stats: serving http://%s/stats.json and http://%s/metrics\n",
+			ln.Addr(), ln.Addr())
+		srv := &http.Server{Handler: hub.Handler()}
+		go func() { _ = srv.Serve(ln) }() // dies with the process
+	}
+	if *stats > 0 {
+		go heartbeat(hub, *stats)
+	}
+	if *obsOut != "" {
+		path := *obsOut
+		exitHooks = append(exitHooks, func() {
+			data, err := json.MarshalIndent(hub.Snapshot(), "", "  ")
+			if err != nil {
+				profileErrf("-obs: %v", err)
+				return
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				profileErrf("-obs: %v", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		})
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -108,7 +158,7 @@ func main() {
 			fatalf("-figure and -scenario are mutually exclusive")
 		}
 		runBatch(*scenarios, *protocols, *trials, *seed, *parallelism, *duration,
-			*format, *out, *timeline, *interval)
+			*format, *out, *timeline, *interval, *streaming, hub)
 		return
 	}
 
@@ -241,7 +291,8 @@ func listScenarios() {
 // runBatch executes the scenario × protocol × seed grid and writes the
 // results in the requested format.
 func runBatch(list, protocols string, trials int, seed int64, parallelism int,
-	duration time.Duration, format, out, timeline string, interval time.Duration) {
+	duration time.Duration, format, out, timeline string, interval time.Duration,
+	streaming bool, hub *rica.ObsHub) {
 	durationSet := flagSet("duration")
 	outFormat := ""
 	if out != "" {
@@ -252,6 +303,7 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism int,
 		Trials:   trials,
 		BaseSeed: seed,
 		Workers:  parallelism,
+		Hub:      hub,
 		OnProgress: func(p rica.BatchProgress) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s seed=%d delivery=%.1f%%\n",
 				p.Done, p.Total, p.Cell.Scenario, p.Cell.Protocol, p.Cell.Seed, p.Cell.DeliveryPct)
@@ -272,10 +324,14 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism int,
 		// metro-scale batch isn't syscall-bound on telemetry export.
 		timelineBuf = bufio.NewWriter(f)
 		sink := rica.NewJSONLTimelineSink(timelineBuf)
+		sinkFormat := "JSONL"
 		if strings.HasSuffix(timeline, ".csv") {
 			sink = rica.NewCSVTimelineSink(timelineBuf)
+			sinkFormat = "CSV"
 		}
-		cfg.Telemetry = &rica.BatchTelemetry{Interval: interval, Sink: sink}
+		fmt.Fprintf(os.Stderr, "timeline: writing %s to %s (%v buckets)\n",
+			sinkFormat, timeline, interval)
+		cfg.Telemetry = &rica.BatchTelemetry{Interval: interval, Sink: sink, Streaming: streaming}
 	}
 	for _, part := range strings.Split(list, ",") {
 		part = strings.TrimSpace(part)
@@ -424,6 +480,25 @@ func parseFloats(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// heartbeat prints a one-line live counter summary every period until the
+// process exits. It only reads the hub's folded atomics — it never blocks
+// or perturbs the simulation goroutines.
+func heartbeat(hub *rica.ObsHub, period time.Duration) {
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for range tick.C {
+		s := hub.Snapshot()
+		line := fmt.Sprintf("stats: sim=%s events=%d gen=%d dlv=%d p50=%s queue=%d",
+			time.Duration(s.SimNowNs).Round(time.Millisecond),
+			s.EventsDispatched, s.TrafficGenerated, s.DelayCount,
+			time.Duration(s.DelayP50Ns).Round(time.Microsecond), s.QueueDepth)
+		if s.Pool != nil {
+			line += fmt.Sprintf(" pool=%d/hw%d", s.Pool.Live, s.Pool.HighWater)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 }
 
 // eventMeter accumulates kernel event counts across every run the command

@@ -16,6 +16,7 @@ import (
 
 	"rica/internal/experiment"
 	"rica/internal/metrics"
+	"rica/internal/obs"
 	"rica/internal/scenario"
 	"rica/internal/timeseries"
 	"rica/internal/world"
@@ -49,6 +50,12 @@ type Config struct {
 	// sink serially, in grid order, after all cells complete — so equal
 	// batches stream byte-identical telemetry regardless of Workers.
 	Telemetry *Telemetry
+	// Hub, when non-nil, has every in-flight cell's observability registry
+	// attached for the duration of its run, so live surfaces (the stats
+	// heartbeat, the HTTP endpoint) see batch-wide aggregate counters while
+	// the grid executes. Purely additive: per-cell snapshots stay exactly
+	// as deterministic as without a hub.
+	Hub *obs.Hub
 }
 
 // Telemetry configures per-cell timeline collection for a batch.
@@ -57,6 +64,10 @@ type Telemetry struct {
 	Interval time.Duration
 	// Sink receives one Emit per cell, in grid order. Required.
 	Sink timeseries.Sink
+	// Streaming switches each cell's delay percentiles to the
+	// bounded-memory histogram path (see timeseries.NewStreamingCollector):
+	// constant memory per interval at ~3 % relative quantile error.
+	Streaming bool
 }
 
 // Progress reports one finished cell.
@@ -81,6 +92,10 @@ type CellResult struct {
 	// Events is the kernel's dispatched-event count for the run —
 	// deterministic, so equal cells export byte-identically.
 	Events uint64 `json:"events"`
+	// Obs is the cell's end-of-run observability snapshot. Every field in
+	// it is deterministic per seed (the process-global pool stats are
+	// deliberately excluded), so it exports byte-identically too.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // Stat is one metric's cross-trial distribution snapshot.
@@ -182,7 +197,7 @@ func Run(cfg Config) (Result, error) {
 				if timelines != nil {
 					tl = &timelines[i]
 				}
-				results[i] = runCell(cells[i], cfg.Telemetry, tl)
+				results[i] = runCell(cells[i], cfg.Telemetry, tl, cfg.Hub)
 				if cfg.OnProgress != nil {
 					progress.Lock()
 					done++
@@ -221,11 +236,20 @@ func Run(cfg Config) (Result, error) {
 // runCell executes one fully deterministic simulation; when telemetry is
 // enabled it attaches a fresh per-run collector and stores the finished
 // timeline through tl.
-func runCell(c cell, tele *Telemetry, tl *timeseries.Timeline) CellResult {
+func runCell(c cell, tele *Telemetry, tl *timeseries.Timeline, hub *obs.Hub) CellResult {
 	wcfg := c.cfg // each cell mutates its own copy
 	wcfg.Seed = c.seed
 	if tele != nil {
-		wcfg.Timeseries = timeseries.NewCollector(tele.Interval, wcfg.Duration)
+		if tele.Streaming {
+			wcfg.Timeseries = timeseries.NewStreamingCollector(tele.Interval, wcfg.Duration)
+		} else {
+			wcfg.Timeseries = timeseries.NewCollector(tele.Interval, wcfg.Duration)
+		}
+	}
+	wcfg.Obs = obs.NewRegistry()
+	if hub != nil {
+		hub.Attach(wcfg.Obs)
+		defer hub.Detach(wcfg.Obs)
 	}
 	s := world.New(wcfg, experiment.Factory(c.protocol, c.spec.Traffic.Rate)).Run()
 	if tele != nil {
@@ -244,6 +268,7 @@ func runCell(c cell, tele *Telemetry, tl *timeseries.Timeline) CellResult {
 		GoodputKbps:  s.GoodputBps / 1000,
 		AvgHops:      s.AvgHops,
 		Events:       s.Events,
+		Obs:          s.Obs,
 	}
 }
 

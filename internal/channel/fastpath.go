@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"rica/internal/geom"
+	"rica/internal/obs"
 )
 
 // NeighborClass is one entry of a fused neighbourhood scan: a terminal
@@ -30,8 +31,10 @@ type NeighborClass struct {
 // triangular index for (i, j).
 func (m *Model) distAtIdx(s *snapshot, idx, i, j int, at time.Duration) float64 {
 	if s.pairDistGen[idx] == s.gen {
+		m.obs.Inc(obs.CDistHits)
 		return s.pairDist[idx]
 	}
+	m.obs.Inc(obs.CDistMisses)
 	d := m.positionAt(s, i, at).DistanceTo(m.positionAt(s, j, at))
 	s.pairDist[idx] = d
 	s.pairDistGen[idx] = s.gen
@@ -44,6 +47,7 @@ func (m *Model) distAtIdx(s *snapshot, idx, i, j int, at time.Duration) float64 
 // one: the first class query of a pair at a new instant advances it,
 // repeats are answered from the cache without touching it.
 func (m *Model) classMiss(s *snapshot, idx, i, j int, at time.Duration) Class {
+	m.obs.Inc(obs.CClassMisses)
 	d := m.distAtIdx(s, idx, i, j, at)
 	if m.pairDown(s, i, j, at) {
 		// Radio-silent endpoint: feed the link an out-of-range distance so
@@ -136,6 +140,7 @@ func (m *Model) Neighbors(i int, at time.Duration, dst []int) []int {
 			continue
 		}
 		if c.d > in {
+			m.obs.Inc(obs.CAnnulusChecks)
 			if m.distAtIdx(s, int(c.idx), i, j, at) > m.cfg.Range {
 				continue
 			}
@@ -182,12 +187,14 @@ func (m *Model) NeighborClasses(i int, at time.Duration, dst []NeighborClass) []
 			s.pairDistGen[idx] = s.gen
 		}
 		if c.d > in {
+			m.obs.Inc(obs.CAnnulusChecks)
 			if m.distAtIdx(s, idx, i, j, at) > m.cfg.Range {
 				continue
 			}
 		}
 		var cl Class
 		if s.pairClassGen[idx] == s.gen {
+			m.obs.Inc(obs.CClassHits)
 			cl = s.pairClass[idx]
 		} else {
 			cl = m.classMiss(s, idx, i, j, at)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rica/internal/geom"
+	"rica/internal/obs"
 	"rica/internal/sim"
 )
 
@@ -47,6 +48,7 @@ type Model struct {
 	down    func(i int, at time.Duration) bool
 	snap    *snapshot
 	trans   transCache // exact AR(1)-coefficient cache shared by all links
+	obs     *obs.Registry
 }
 
 // NewModel builds the channel for n terminals whose positions are given by
@@ -84,6 +86,14 @@ func (m *Model) linkAt(idx, i, j int) *Link {
 
 // N reports the number of terminals.
 func (m *Model) N() int { return len(m.pos) }
+
+// SetObs wires the fast-path cache counters (pair class/distance,
+// transcendental coefficients, grid rebuilds, annulus checks) into r.
+// The model works identically — and counts nothing — without one.
+func (m *Model) SetObs(r *obs.Registry) {
+	m.obs = r
+	m.trans.obs = r
+}
 
 // SetOutage installs a radio-outage oracle: while fn reports terminal i
 // down, every link touching i behaves exactly as if the pair were out of
@@ -141,6 +151,7 @@ func (m *Model) Class(i, j int, at time.Duration) Class {
 	s := m.sync(at)
 	idx := m.pairIndex(i, j)
 	if s.pairClassGen[idx] == s.gen {
+		m.obs.Inc(obs.CClassHits)
 		return s.pairClass[idx]
 	}
 	return m.classMiss(s, idx, i, j, at)

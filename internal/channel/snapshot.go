@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rica/internal/geom"
+	"rica/internal/obs"
 )
 
 // Stabler optionally extends Positioner with an exact staleness bound:
@@ -326,6 +327,7 @@ func (m *Model) gridAt(s *snapshot, at time.Duration) (*geom.Grid, float64) {
 			}
 		}
 	}
+	m.obs.Inc(obs.CGridRebuilds)
 	s.grid.Rebuild(s.pos)
 	s.gridBuilt = true
 	s.gridAt = at

@@ -3,6 +3,8 @@ package channel
 import (
 	"math"
 	"time"
+
+	"rica/internal/obs"
 )
 
 // The AR(1) advance of every fading link computes four speed-scaled
@@ -43,6 +45,7 @@ type transEntry struct {
 // empty slots can never produce a false hit.
 type transCache struct {
 	entries [1 << transCacheBits]transEntry
+	obs     *obs.Registry // hit/miss counters; nil-safe, set via Model.SetObs
 }
 
 // coeffs returns the four AR(1) coefficients for (dt, speedScale),
@@ -52,8 +55,10 @@ func (c *transCache) coeffs(cfg *Config, dt time.Duration, speedScale float64) (
 	h := (uint64(dt)*0x9E3779B97F4A7C15 ^ sb*0xBF58476D1CE4E5B9) >> (64 - transCacheBits)
 	e := &c.entries[h]
 	if e.dt == int64(dt) && e.speed == sb {
+		c.obs.Inc(obs.CTransHits)
 		return e.rhoS, e.sigS, e.rhoF, e.sigF
 	}
+	c.obs.Inc(obs.CTransMisses)
 	rhoS, sigS, rhoF, sigF = arCoeffs(cfg, dt, speedScale)
 	*e = transEntry{dt: int64(dt), speed: sb, rhoS: rhoS, sigS: sigS, rhoF: rhoF, sigF: sigF}
 	return rhoS, sigS, rhoF, sigF

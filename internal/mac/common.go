@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rica/internal/channel"
+	"rica/internal/obs"
 	"rica/internal/packet"
 	"rica/internal/sim"
 )
@@ -122,6 +123,9 @@ type CommonChannel struct {
 	// maximum number of busy-channel backoffs — the congestion-collapse
 	// signal that cripples the link-state protocol at high mobility.
 	OnDropped func(pkt *packet.Packet, from int, now time.Duration)
+
+	// obs, when set, receives backoff and collision counters (nil-safe).
+	obs *obs.Registry
 }
 
 // NewCommonChannel builds the channel for the terminals covered by model.
@@ -137,6 +141,41 @@ func NewCommonChannel(kernel *sim.Kernel, model LinkOracle, rng *rand.Rand) *Com
 	c.completeFn = c.completeSlot
 	c.retryFn = c.retrySlot
 	return c
+}
+
+// SetObs wires the backoff/collision counters into r. The channel works
+// identically — and counts nothing — without one.
+func (c *CommonChannel) SetObs(r *obs.Registry) { c.obs = r }
+
+// Drain silently releases every packet the channel still owns: backed-off
+// packets whose retry lies past the horizon, in-flight transmissions whose
+// completion never fired, and the delivery scratch record. No OnDropped or
+// recorder callbacks run — the world layer calls this after the simulation
+// horizon, where recording would perturb the run's metrics. It returns how
+// many packets were let go.
+func (c *CommonChannel) Drain() int {
+	n := 0
+	for i, pkt := range c.deferred {
+		if pkt != nil {
+			c.deferred[i] = nil
+			pkt.Release()
+			n++
+		}
+	}
+	for _, tx := range c.txSlots {
+		if tx != nil && tx.pkt != nil {
+			pkt := tx.pkt
+			tx.pkt = nil
+			pkt.Release()
+			n++
+		}
+	}
+	if c.scratch != nil {
+		c.scratch.Release()
+		c.scratch = nil
+		n++
+	}
+	return n
 }
 
 // Register installs the receive handler for terminal id. Every terminal
@@ -171,6 +210,7 @@ func (c *CommonChannel) attempt(pkt *packet.Packet, tries int) {
 			pkt.Release()
 			return
 		}
+		c.obs.Inc(obs.CMACBackoffs)
 		slot := c.deferSlot(pkt)
 		c.kernel.ScheduleArg(c.backoff(tries), c.retryFn, slot, tries+1)
 		return
@@ -309,6 +349,8 @@ func (c *CommonChannel) complete(tx *transmission, now time.Duration) {
 			c.overlaps(tx, now)
 			if !c.collidedAt(to, now) {
 				c.deliver(to, tx.pkt, now)
+			} else {
+				c.obs.Inc(obs.CMACCollisions)
 			}
 		}
 	} else if c.nbuf = c.model.Neighbors(tx.from, now, c.nbuf[:0]); len(c.nbuf) > 0 {
@@ -321,7 +363,11 @@ func (c *CommonChannel) complete(tx *transmission, now time.Duration) {
 		w := 0
 		if len(c.obuf)*len(c.nbuf) < collideScanMin {
 			for _, j := range c.nbuf {
-				if c.handlers[j] == nil || c.collidedAt(j, now) {
+				if c.handlers[j] == nil {
+					continue
+				}
+				if c.collidedAt(j, now) {
+					c.obs.Inc(obs.CMACCollisions)
 					continue
 				}
 				c.nbuf[w] = j
@@ -330,7 +376,11 @@ func (c *CommonChannel) complete(tx *transmission, now time.Duration) {
 		} else {
 			c.markCollided(now)
 			for _, j := range c.nbuf {
-				if c.handlers[j] == nil || c.colStamp[j] == c.colEpoch {
+				if c.handlers[j] == nil {
+					continue
+				}
+				if c.colStamp[j] == c.colEpoch {
+					c.obs.Inc(obs.CMACCollisions)
 					continue
 				}
 				c.nbuf[w] = j

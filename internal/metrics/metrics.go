@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"rica/internal/network"
+	"rica/internal/obs"
 	"rica/internal/packet"
 )
 
@@ -202,6 +203,11 @@ type Summary struct {
 	// ThroughputSeries is delivered bits per 4 s bucket converted to bits
 	// per second (Figure 6's curve).
 	ThroughputSeries []float64
+	// Obs is the run's end-of-run observability snapshot (subsystem
+	// counters, delay histogram quantiles). Populated by the world layer;
+	// nil for bare collector use. Excluded from golden fingerprints, which
+	// format an explicit field list.
+	Obs *obs.Snapshot
 }
 
 // Summary freezes the current counters into a result set.

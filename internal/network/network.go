@@ -100,6 +100,17 @@ type Agent interface {
 	LinkFailed(next int, pkt *packet.Packet, now time.Duration)
 }
 
+// Drainer is the optional end-of-run extension of Agent: agents that
+// park pooled packets (query buffers, delayed relays) implement it to
+// silently release them once the simulation horizon has passed, so the
+// pool's leak accounting comes out exact. DrainPending must not record
+// drops or send anything — the run is over — and returns how many
+// packets were released. Node.Drain discovers it by type assertion, the
+// same pattern as RouteRecorder.
+type Drainer interface {
+	DrainPending() int
+}
+
 // Env is the service surface a Node exposes to its Agent.
 type Env interface {
 	// ID is this terminal's identifier.

@@ -6,6 +6,7 @@ import (
 
 	"rica/internal/channel"
 	"rica/internal/mac"
+	"rica/internal/obs"
 	"rica/internal/packet"
 	"rica/internal/sim"
 )
@@ -16,6 +17,11 @@ import (
 type NodeConfig struct {
 	BufferCap      int
 	BufferLifetime time.Duration
+
+	// Obs, when set, is exposed to the attached routing agent through
+	// Node.Obs so protocol internals (flood history, SPT rebuilds) can
+	// count into the run's registry. All registry methods are nil-safe.
+	Obs *obs.Registry
 }
 
 // DefaultNodeConfig returns the paper's settings.
@@ -79,6 +85,38 @@ func (nd *Node) SetAgent(a Agent) { nd.agent = a }
 
 // Agent returns the attached routing agent (diagnostics, tests).
 func (nd *Node) Agent() Agent { return nd.agent }
+
+// Obs returns the run's observability registry (nil when none was
+// configured). Routing packages discover it by type-asserting their Env
+// against this method, the same way TableObserver is discovered.
+func (nd *Node) Obs() *obs.Registry { return nd.cfg.Obs }
+
+// Drain silently releases every data packet still buffered in the link
+// queues and forwards to the agent's DrainPending when it has one. No
+// recorder callbacks run — the world layer calls this after the
+// simulation horizon, where recording drops would perturb the metrics.
+// It returns how many packets were let go.
+func (nd *Node) Drain() int {
+	n := 0
+	for _, q := range nd.queues {
+		if q == nil {
+			continue
+		}
+		for {
+			e, ok := q.pop()
+			if !ok {
+				break
+			}
+			e.pkt.Release()
+			n++
+		}
+		q.busy = false
+	}
+	if d, ok := nd.agent.(Drainer); ok {
+		n += d.DrainPending()
+	}
+	return n
+}
 
 // Start boots the routing agent.
 func (nd *Node) Start() {

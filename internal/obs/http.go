@@ -1,0 +1,26 @@
+// HTTP surfaces: a JSON snapshot at /stats.json and Prometheus text
+// exposition at /metrics, both served from the hub's live aggregate.
+
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the hub's live view: GET /stats.json (deterministic
+// JSON snapshot) and GET /metrics (Prometheus text exposition).
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = h.WriteProm(w)
+	})
+	return mux
+}

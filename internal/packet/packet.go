@@ -12,6 +12,7 @@ package packet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -200,6 +201,19 @@ type Packet struct {
 // collected. Only explicitly Released packets are ever reused.
 var pool = sync.Pool{New: func() any { return new(Packet) }}
 
+// Pool accounting. The pool is process-global (parallel batch cells and
+// experiment trials share it), so these are process-global atomics: Gets
+// and Releases count checkout/checkin, live is their difference, and
+// highWater tracks the peak of live. A sequential run that drains cleanly
+// ends with Live() == 0; anything else is a leak — a pooled packet whose
+// last reference was never Released.
+var (
+	poolGets     atomic.Uint64
+	poolReleases atomic.Uint64
+	poolLive     atomic.Int64
+	poolHigh     atomic.Int64
+)
+
 // Get returns a zeroed packet from the pool holding one reference.
 // Every packet in the pool is already zeroed — Release clears before
 // Put, and the pool's New starts zero — so only the header is written.
@@ -207,7 +221,25 @@ func Get() *Packet {
 	p := pool.Get().(*Packet)
 	p.pooled = true
 	p.refs = 1
+	poolGets.Add(1)
+	if live := poolLive.Add(1); live > poolHigh.Load() {
+		// Benign race between parallel runs: a concurrent peak may be
+		// recorded slightly low, never high. The sequential paths that
+		// assert on it are exact.
+		poolHigh.Store(live)
+	}
 	return p
+}
+
+// Live reports how many pooled packets are currently checked out
+// (Get/Clone minus final Release), process-wide.
+func Live() int64 { return poolLive.Load() }
+
+// PoolStats reports the process-global pool accounting: total checkouts,
+// total checkins (final releases), currently live, and the high-water
+// mark of live.
+func PoolStats() (gets, releases uint64, live, highWater int64) {
+	return poolGets.Load(), poolReleases.Load(), poolLive.Load(), poolHigh.Load()
 }
 
 // CopyFrom overwrites p's packet fields with src's, preserving p's own
@@ -240,6 +272,8 @@ func (p *Packet) Release() {
 	if p.refs < 0 {
 		panic("packet: Release of an already-freed packet")
 	}
+	poolReleases.Add(1)
+	poolLive.Add(-1)
 	*p = Packet{}
 	pool.Put(p)
 }

@@ -66,3 +66,8 @@ func (a *Agent) DataArrived(pkt *packet.Packet, now time.Duration) {
 func (a *Agent) LinkFailed(next int, pkt *packet.Packet, now time.Duration) {
 	a.core.LinkFailed(next, pkt, now)
 }
+
+// DrainPending implements network.Drainer: once the simulation horizon
+// has passed, packets parked behind route queries or jittered relays in
+// the shared core are silently released for exact pool-leak accounting.
+func (a *Agent) DrainPending() int { return a.core.DrainPending() }

@@ -165,3 +165,8 @@ func (a *Agent) onQueryFailed(dst int, kind packet.Type, now time.Duration) {
 	// A source whose own local repair failed falls back to a full flood on
 	// the next packet; nothing further to do here.
 }
+
+// DrainPending implements network.Drainer: once the simulation horizon
+// has passed, packets parked behind route queries or jittered relays in
+// the shared core are silently released for exact pool-leak accounting.
+func (a *Agent) DrainPending() int { return a.core.DrainPending() }

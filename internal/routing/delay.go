@@ -54,3 +54,20 @@ func (d *DelayedSender) send(_ time.Duration, slot, _ int) {
 	d.free = append(d.free, slot)
 	d.env.SendControl(pkt)
 }
+
+// Drain silently releases every parked packet whose timer lies past the
+// simulation horizon. Nothing is sent or recorded; the end-of-run drain
+// uses it for exact pool-leak accounting. Returns how many packets were
+// released.
+func (d *DelayedSender) Drain() int {
+	n := 0
+	for i, pkt := range d.slots {
+		if pkt != nil {
+			d.slots[i] = nil
+			d.free = append(d.free, i)
+			pkt.Release()
+			n++
+		}
+	}
+	return n
+}

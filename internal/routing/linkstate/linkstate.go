@@ -21,6 +21,7 @@ import (
 
 	"rica/internal/channel"
 	"rica/internal/network"
+	"rica/internal/obs"
 	"rica/internal/packet"
 	"rica/internal/routing"
 )
@@ -70,6 +71,7 @@ type Agent struct {
 	lastFlood    time.Duration
 	floodPending bool
 	relay        *routing.DelayedSender
+	obs          *obs.Registry
 
 	sptNext  []int
 	sptDist  []float64 // recycled alongside sptNext between recomputes
@@ -91,6 +93,10 @@ func New(env network.Env, cfg Config, boot *routing.Graph) *Agent {
 		lastSeen: make(map[int]time.Duration),
 		knownSeq: make(map[int]uint32),
 		sptDirty: true,
+	}
+	if op, ok := env.(routing.ObsProvider); ok {
+		a.obs = op.Obs()
+		a.hist.SetObs(a.obs)
 	}
 	n := env.NumNodes()
 	a.topo.CopyFrom(boot)
@@ -270,8 +276,9 @@ func (a *Agent) nextHop(dst int) int {
 	if a.sptDirty {
 		a.sptNext, a.sptDist = a.topo.ShortestPaths(a.env.ID(), a.sptNext, a.sptDist)
 		a.sptDirty = false
-		if obs, ok := a.env.(routing.TableObserver); ok {
-			obs.NoteRouteInstalled()
+		a.obs.Inc(obs.CSPTRecomputes)
+		if to, ok := a.env.(routing.TableObserver); ok {
+			to.NoteRouteInstalled()
 		}
 	}
 	return a.sptNext[dst]
@@ -298,3 +305,8 @@ func (a *Agent) RouteData(pkt *packet.Packet, now time.Duration) {
 func (a *Agent) LinkFailed(next int, pkt *packet.Packet, now time.Duration) {
 	a.env.DropData(pkt, network.DropLinkBreak)
 }
+
+// DrainPending implements network.Drainer: after the horizon, LSA relays
+// still parked behind rebroadcast jitter are silently returned to the
+// pool so end-of-run leak accounting comes out exact.
+func (a *Agent) DrainPending() int { return a.relay.Drain() }

@@ -127,15 +127,22 @@ func NewCore(env network.Env, cfg CoreConfig) *Core {
 	// Env implementations wired for telemetry (network.Node) receive the
 	// table's churn; scripted test envs simply don't implement the
 	// observer and stay unaffected.
-	if obs, ok := env.(TableObserver); ok {
-		table.OnInstall = obs.NoteRouteInstalled
-		table.OnInvalidate = obs.NoteRouteInvalidated
+	if to, ok := env.(TableObserver); ok {
+		table.OnInstall = to.NoteRouteInstalled
+		table.OnInvalidate = to.NoteRouteInvalidated
+	}
+	hist := NewHistory()
+	// The same pattern discovers the run's observability registry: an Env
+	// exposing Obs (network.Node) gets its flood-suppression and
+	// history-spill counts; bare test envs count nothing.
+	if op, ok := env.(ObsProvider); ok {
+		hist.SetObs(op.Obs())
 	}
 	return &Core{
 		env:      env,
 		cfg:      cfg,
 		Table:    table,
-		hist:     NewHistory(),
+		hist:     hist,
 		pending:  make(map[int]*Pending),
 		queries:  make(map[int]*queryState),
 		gather:   make(map[packet.FloodKey]*gatherState),
@@ -154,6 +161,20 @@ func (c *Core) Env() network.Env { return c.env }
 
 // History exposes the flood dedupe table to protocol-specific floods.
 func (c *Core) History() *History { return c.hist }
+
+// DrainPending implements network.Drainer for agents built on the core:
+// it silently releases every data packet still parked behind an
+// unanswered route query and every control packet waiting on a jittered
+// rebroadcast. Called only after the simulation horizon, so nothing is
+// recorded or sent. Returns how many pooled packets were released.
+func (c *Core) DrainPending() int {
+	n := 0
+	for _, p := range c.pending {
+		n += p.ReleaseAll()
+	}
+	n += c.delayed.Drain()
+	return n
+}
 
 // Forward tries to send pkt along a live table route; it reports whether
 // it did. Split horizon: a packet is never returned to the neighbour it

@@ -413,3 +413,8 @@ func (a *Agent) handleRUPD(pkt *packet.Packet, now time.Duration) {
 		a.core.Table.Install(pkt.Dst, c.next, c.hop, c.geo, now)
 	}
 }
+
+// DrainPending implements network.Drainer: once the simulation horizon
+// has passed, packets parked behind route queries or jittered relays in
+// the shared core are silently released for exact pool-leak accounting.
+func (a *Agent) DrainPending() int { return a.core.DrainPending() }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rica/internal/network"
+	"rica/internal/obs"
 	"rica/internal/packet"
 )
 
@@ -73,6 +74,15 @@ type TableObserver interface {
 	NoteRouteInstalled()
 	// NoteRouteInvalidated observes one entry transitioning valid→invalid.
 	NoteRouteInvalidated()
+}
+
+// ObsProvider is optionally implemented by network.Env implementations
+// that carry the run's observability registry (network.Node). Routing
+// internals discover it by type assertion, exactly like TableObserver;
+// scripted test envs that don't implement it simply count nothing, since
+// every registry method is nil-safe.
+type ObsProvider interface {
+	Obs() *obs.Registry
 }
 
 // Table maps destinations to route entries with idle expiry: an entry not
@@ -196,7 +206,14 @@ type History struct {
 	lastKey packet.FloodKey
 	lastRec FloodRecord
 	lastOK  bool
+
+	// obs, when set, counts suppressed flood copies and spill-tier
+	// insertions (nil-safe).
+	obs *obs.Registry
 }
+
+// SetObs wires the suppression/spill counters into r.
+func (h *History) SetObs(r *obs.Registry) { h.obs = r }
 
 // historyInitSlots sizes a fresh table; grows by doubling at ~3/4 load.
 const historyInitSlots = 64
@@ -245,6 +262,7 @@ func (h *History) put(key packet.FloodKey, rec FloodRecord) {
 		if h.spill == nil {
 			h.spill = make(map[packet.FloodKey]FloodRecord)
 		}
+		h.obs.Inc(obs.CHistorySpills)
 		h.spill[key] = rec
 		return
 	}
@@ -298,9 +316,11 @@ func NewHistory() *History {
 func (h *History) FirstCopy(pkt *packet.Packet, now time.Duration) (FloodRecord, bool) {
 	key := pkt.Key()
 	if h.lastOK && key == h.lastKey {
+		h.obs.Inc(obs.CFloodSuppressed)
 		return h.lastRec, false
 	}
 	if rec, ok := h.get(key); ok {
+		h.obs.Inc(obs.CFloodSuppressed)
 		h.lastKey, h.lastRec, h.lastOK = key, rec, true
 		return rec, false
 	}
@@ -344,6 +364,7 @@ func (h *History) Improved(pkt *packet.Packet, now time.Duration) (FloodRecord, 
 	if !cached {
 		h.lastKey, h.lastRec, h.lastOK = key, rec, true
 	}
+	h.obs.Inc(obs.CFloodSuppressed)
 	return rec, false
 }
 
@@ -395,4 +416,16 @@ func (p *Pending) DropAll(env network.Env, reason network.DropReason) {
 		env.DropData(it.pkt, reason)
 	}
 	p.items = nil
+}
+
+// ReleaseAll silently frees every buffered packet — no drop is recorded.
+// The end-of-run drain uses it, where recording would perturb the run's
+// metrics. It returns how many packets were released.
+func (p *Pending) ReleaseAll() int {
+	n := len(p.items)
+	for _, it := range p.items {
+		it.pkt.Release()
+	}
+	p.items = nil
+	return n
 }

@@ -19,6 +19,8 @@ package sim
 import (
 	"fmt"
 	"time"
+
+	"rica/internal/obs"
 )
 
 // Handler is a callback invoked when a scheduled event fires. The argument
@@ -65,12 +67,21 @@ type Kernel struct {
 	// executed counts events dispatched since construction; useful for
 	// progress accounting and for benchmarks.
 	executed uint64
+
+	// obs, when set, receives dispatch/schedule/cancel counters and the
+	// published simulation clock. All obs methods are nil-safe, so the
+	// zero-value kernel stays ready to use.
+	obs *obs.Registry
 }
 
 // NewKernel returns an empty kernel with the clock at zero.
 func NewKernel() *Kernel {
 	return &Kernel{}
 }
+
+// SetObs wires the observability registry. Call before Run; the kernel
+// works identically (and counts nothing) without one.
+func (k *Kernel) SetObs(r *obs.Registry) { k.obs = r }
 
 // Now reports the current virtual time.
 func (k *Kernel) Now() time.Duration { return k.now }
@@ -197,6 +208,11 @@ func (k *Kernel) enqueue(t time.Duration) *event {
 	ev.seq = k.seq
 	k.seq++
 	k.live++
+	k.obs.Inc(obs.CEventsScheduled)
+	k.obs.GaugeAdd(obs.GQueueDepth, 1)
+	if ladderWin(t) >= ladderWin(k.now)+ladderBuckets {
+		k.obs.Inc(obs.CLadderFarPushes)
+	}
 	k.queue.push(ev, k.now)
 	return ev
 }
@@ -226,6 +242,9 @@ func (k *Kernel) dispatch(ev *event) {
 	k.now = ev.at
 	k.executed++
 	k.live--
+	k.obs.Inc(obs.CEventsDispatched)
+	k.obs.GaugeAdd(obs.GQueueDepth, -1)
+	k.obs.SetSimNow(k.now)
 	fn, afn, a0, a1 := ev.fn, ev.afn, ev.a0, ev.a1
 	k.release(ev)
 	if fn != nil {
@@ -277,7 +296,10 @@ func (k *Kernel) Stop() { k.stopped = true }
 // retransmission load grows Pending and memory without bound.
 func (k *Kernel) noteCancel() {
 	k.live--
+	k.obs.Inc(obs.CTimersCancelled)
+	k.obs.GaugeAdd(obs.GQueueDepth, -1)
 	if queued := k.queue.size(); queued >= compactMin && queued-k.live > queued/2 {
+		k.obs.Inc(obs.CQueueCompactions)
 		k.queue.compact(k.recycleFn())
 	}
 }

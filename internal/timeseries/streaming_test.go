@@ -1,0 +1,120 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rica/internal/packet"
+)
+
+// feedDeliveries replays the same synthetic delivery stream into both
+// collectors: monotone delivery times (as the kernel guarantees) with
+// log-uniform random delays spanning sub-millisecond to seconds.
+func feedDeliveries(t *testing.T, exact, streaming *Collector, seed int64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	now := time.Duration(0)
+	for i := 0; i < n; i++ {
+		now += time.Duration(rng.Intn(int(40 * time.Millisecond)))
+		delay := time.Duration(math.Exp(rng.Float64()*8)) * time.Microsecond
+		pkt := &packet.Packet{Size: 512, CreatedAt: now - delay}
+		exact.DataDelivered(pkt, now)
+		streaming.DataDelivered(pkt, now)
+	}
+}
+
+// TestStreamingQuantilesTrackExact is the property test behind the
+// documented error bound: per interval, the streaming p50/p95 must stay
+// within ~4 % relative of the exact nearest-rank quantile, and every
+// other field of the timeline must match exactly (streaming changes how
+// quantiles are computed, nothing else).
+func TestStreamingQuantilesTrackExact(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		horizon := 30 * time.Second
+		exact := NewCollector(time.Second, horizon)
+		streaming := NewStreamingCollector(time.Second, horizon)
+		if !streaming.Streaming() || exact.Streaming() {
+			t.Fatal("Streaming() flag wrong")
+		}
+		feedDeliveries(t, exact, streaming, seed, 4000)
+
+		te, ts := exact.Timeline(), streaming.Timeline()
+		if len(te.Points) != len(ts.Points) {
+			t.Fatalf("timeline lengths differ: %d vs %d", len(te.Points), len(ts.Points))
+		}
+		for i := range te.Points {
+			pe, ps := te.Points[i], ts.Points[i]
+			if pe.Delivered != ps.Delivered || pe.AvgDelayMs != ps.AvgDelayMs ||
+				pe.GoodputKbps != ps.GoodputKbps {
+				t.Fatalf("interval %d: non-quantile fields diverged: %+v vs %+v", i, pe, ps)
+			}
+			for _, q := range []struct {
+				name          string
+				exact, approx float64
+			}{
+				{"p50", pe.P50DelayMs, ps.P50DelayMs},
+				{"p95", pe.P95DelayMs, ps.P95DelayMs},
+			} {
+				if q.exact == 0 {
+					if q.approx != 0 {
+						t.Fatalf("interval %d %s: approx %g for exact 0", i, q.name, q.approx)
+					}
+					continue
+				}
+				rel := math.Abs(q.approx-q.exact) / q.exact
+				if rel > 0.04 {
+					t.Fatalf("seed %d interval %d %s: streaming %g vs exact %g (rel err %.4f > 0.04)",
+						seed, i, q.name, q.approx, q.exact, rel)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingRetainsNoSamples is the bounded-memory property: the
+// streaming collector must never append to a bucket's delay slice — its
+// footprint is the one shared histogram regardless of delivery volume.
+func TestStreamingRetainsNoSamples(t *testing.T) {
+	horizon := 10 * time.Second
+	c := NewStreamingCollector(time.Second, horizon)
+	exact := NewCollector(time.Second, horizon)
+	feedDeliveries(t, exact, c, 42, 20000)
+	for i := range c.buckets {
+		if c.buckets[i].delays != nil {
+			t.Fatalf("streaming bucket %d retained %d samples", i, len(c.buckets[i].delays))
+		}
+	}
+	// And the exact collector (the baseline being replaced) does retain.
+	retained := 0
+	for i := range exact.buckets {
+		retained += len(exact.buckets[i].delays)
+	}
+	if retained != 20000 {
+		t.Fatalf("exact collector retained %d samples, want 20000", retained)
+	}
+}
+
+// TestStreamingMidRunSnapshot: Timeline() is a pure read — snapshotting
+// mid-run must answer the open interval from the live histogram without
+// resetting it, and the final timeline must be unaffected.
+func TestStreamingMidRunSnapshot(t *testing.T) {
+	c := NewStreamingCollector(time.Second, 5*time.Second)
+	pkt := &packet.Packet{Size: 512, CreatedAt: 0}
+	c.DataDelivered(pkt, 100*time.Millisecond) // delay 100 ms, interval 0
+	mid := c.Timeline()
+	if got := mid.Points[0].P50DelayMs; math.Abs(got-100) > 5 {
+		t.Fatalf("open-interval p50 = %g ms, want ~100", got)
+	}
+	// A later delivery seals interval 0; its quantiles must survive.
+	pkt2 := &packet.Packet{Size: 512, CreatedAt: 3 * time.Second}
+	c.DataDelivered(pkt2, 3*time.Second+200*time.Millisecond)
+	final := c.Timeline()
+	if got := final.Points[0].P50DelayMs; math.Abs(got-100) > 5 {
+		t.Fatalf("sealed interval 0 p50 = %g ms, want ~100", got)
+	}
+	if got := final.Points[3].P50DelayMs; math.Abs(got-200) > 10 {
+		t.Fatalf("open interval 3 p50 = %g ms, want ~200", got)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"rica/internal/network"
+	"rica/internal/obs"
 	"rica/internal/packet"
 )
 
@@ -40,6 +41,17 @@ const DefaultInterval = time.Second
 type Collector struct {
 	interval time.Duration
 	buckets  []bucket
+
+	// Streaming mode (NewStreamingCollector): instead of retaining every
+	// delivery's delay until Timeline sorts it, one fixed-size log-bucketed
+	// histogram is recycled across intervals. Simulation time is monotone,
+	// so when a delivery lands in a later interval the open one is sealed —
+	// its p50/p95 frozen from the histogram — and the histogram reset.
+	// Memory per interval is therefore a constant ~15 KiB shared histogram
+	// instead of one time.Duration per delivery.
+	streaming bool
+	hist      obs.Histogram
+	histIdx   int // interval the histogram currently covers
 }
 
 // bucket accumulates the raw counters of one interval.
@@ -49,6 +61,10 @@ type bucket struct {
 	delaySum      time.Duration
 	delays        []time.Duration
 	deliveredBits int64
+
+	// Streaming mode only: quantiles frozen when the interval was sealed.
+	p50, p95 time.Duration
+	sealed   bool
 
 	drops [4]int // indexed by network.DropReason - 1
 
@@ -82,6 +98,24 @@ func NewCollector(interval, horizon time.Duration) *Collector {
 	return &Collector{interval: interval, buckets: make([]bucket, n)}
 }
 
+// NewStreamingCollector builds a collector whose per-interval delay
+// quantiles come from a recycled fixed-size histogram instead of
+// retained samples: memory is constant per interval regardless of
+// delivery volume. The trade-off is approximation — p50/p95 are bucket
+// midpoints, within ~3.2 % relative of the exact nearest-rank sample
+// (see obs.Histogram.Quantile). The exact collector remains the default
+// and the golden oracle; use streaming for very long or very hot runs
+// where retaining every delay is the dominant allocation.
+func NewStreamingCollector(interval, horizon time.Duration) *Collector {
+	c := NewCollector(interval, horizon)
+	c.streaming = true
+	return c
+}
+
+// Streaming reports whether this collector uses the bounded-memory
+// histogram path for delay quantiles.
+func (c *Collector) Streaming() bool { return c.streaming }
+
 // Interval reports the bucket width.
 func (c *Collector) Interval() time.Duration { return c.interval }
 
@@ -110,8 +144,32 @@ func (c *Collector) DataDelivered(pkt *packet.Packet, now time.Duration) {
 	b.delivered++
 	delay := now - pkt.CreatedAt
 	b.delaySum += delay
-	b.delays = append(b.delays, delay)
+	if c.streaming {
+		idx := int(now / c.interval)
+		if idx != c.histIdx {
+			// Deliveries arrive in simulation-time order, so the previously
+			// open interval is complete: freeze its quantiles and recycle the
+			// histogram for the new one.
+			c.seal()
+			c.histIdx = idx
+		}
+		c.hist.Observe(uint64(delay))
+	} else {
+		b.delays = append(b.delays, delay)
+	}
 	b.deliveredBits += int64(pkt.Size * 8)
+}
+
+// seal freezes the open streaming interval's quantiles out of the shared
+// histogram and resets it.
+func (c *Collector) seal() {
+	if c.histIdx < len(c.buckets) {
+		b := &c.buckets[c.histIdx]
+		b.p50 = time.Duration(c.hist.Quantile(0.50))
+		b.p95 = time.Duration(c.hist.Quantile(0.95))
+		b.sealed = true
+	}
+	c.hist.Reset()
 }
 
 // DataDropped implements network.Recorder.
@@ -236,8 +294,19 @@ func (c *Collector) Timeline() Timeline {
 		}
 		if b.delivered > 0 {
 			p.AvgDelayMs = float64(b.delaySum) / float64(b.delivered) / float64(time.Millisecond)
-			p.P50DelayMs = float64(durationQuantile(b.delays, 0.50)) / float64(time.Millisecond)
-			p.P95DelayMs = float64(durationQuantile(b.delays, 0.95)) / float64(time.Millisecond)
+			switch {
+			case !c.streaming:
+				p.P50DelayMs = float64(durationQuantile(b.delays, 0.50)) / float64(time.Millisecond)
+				p.P95DelayMs = float64(durationQuantile(b.delays, 0.95)) / float64(time.Millisecond)
+			case b.sealed:
+				p.P50DelayMs = float64(b.p50) / float64(time.Millisecond)
+				p.P95DelayMs = float64(b.p95) / float64(time.Millisecond)
+			case i == c.histIdx:
+				// Still-open interval: read the live histogram without
+				// resetting it, keeping Timeline a pure read.
+				p.P50DelayMs = float64(c.hist.Quantile(0.50)) / float64(time.Millisecond)
+				p.P95DelayMs = float64(c.hist.Quantile(0.95)) / float64(time.Millisecond)
+			}
 		}
 		tl.Points[i] = p
 	}

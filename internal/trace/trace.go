@@ -7,6 +7,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"rica/internal/network"
@@ -65,7 +66,13 @@ func (e Event) String() string {
 // Recorder is a bounded ring of events. The zero value is unusable;
 // construct with NewRecorder. Filter, when set, keeps only matching
 // events (the total count still counts everything offered).
+//
+// Recorder is safe for concurrent use: the simulation goroutine appends
+// while live observability surfaces (the stats heartbeat, the HTTP
+// snapshot endpoint) read Total and Events. Set Filter before the run
+// starts; it is read under the same lock but not copied.
 type Recorder struct {
+	mu     sync.Mutex
 	events []Event
 	next   int
 	filled bool
@@ -87,6 +94,8 @@ func NewRecorder(capacity int) *Recorder {
 
 // Record offers an event to the ring.
 func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.total++
 	if r.Filter != nil && !r.Filter(e) {
 		return
@@ -103,10 +112,16 @@ func (r *Recorder) Record(e Event) {
 }
 
 // Total reports how many events were offered (including filtered ones).
-func (r *Recorder) Total() uint64 { return r.total }
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
 
 // Events returns the retained events in chronological order.
 func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.filled {
 		out := make([]Event, r.next)
 		copy(out, r.events[:r.next])

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rica/internal/network"
+	"rica/internal/obs"
 	"rica/internal/packet"
 	"rica/internal/sim"
 )
@@ -80,6 +81,9 @@ type Generator struct {
 	kernel *sim.Kernel
 	nodes  []*network.Node
 	nextID uint64
+
+	// Obs, when set, counts generated packets into the run's registry.
+	Obs *obs.Registry
 }
 
 // NewGenerator builds a generator injecting into nodes.
@@ -133,6 +137,7 @@ func (r *flowRunner) tick(now time.Duration) {
 	pkt.Dst = r.f.Dst
 	pkt.Size = packet.SizeData
 	pkt.CreatedAt = now
+	r.g.Obs.Inc(obs.CTrafficGenerated)
 	r.g.nodes[r.f.Src].OriginateData(pkt, now)
 	r.schedule()
 }

@@ -15,6 +15,7 @@ import (
 	"rica/internal/metrics"
 	"rica/internal/mobility"
 	"rica/internal/network"
+	"rica/internal/obs"
 	"rica/internal/packet"
 	"rica/internal/routing"
 	"rica/internal/sim"
@@ -79,6 +80,13 @@ type Config struct {
 	// transmissions, and route-table churn all flow into it alongside the
 	// aggregate metrics collector.
 	Timeseries *timeseries.Collector
+	// Obs, when non-nil, is the observability registry every subsystem
+	// counts into; when nil, New creates a private one so counters are
+	// always live (they are atomic increments into fixed slots — too cheap
+	// to gate). The registry never feeds back into the simulation, so the
+	// event order and every RNG stream are identical with or without an
+	// external registry attached.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the paper's simulation environment with the given
@@ -124,6 +132,7 @@ type World struct {
 	Collector *metrics.Collector
 	Meter     *energy.Meter
 	Flows     []traffic.Flow
+	Obs       *obs.Registry
 
 	topo0 *routing.Graph // lazily built boot topology snapshot
 }
@@ -132,6 +141,12 @@ type World struct {
 func New(cfg Config, factory AgentFactory) *World {
 	kernel := sim.NewKernel()
 	streams := sim.NewStreams(cfg.Seed)
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cfg.Node.Obs = reg // nodes expose it to their routing agents
+	kernel.SetObs(reg)
 
 	var mob []*mobility.Node
 	var pos []channel.Positioner
@@ -152,6 +167,7 @@ func New(cfg Config, factory AgentFactory) *World {
 	}
 
 	model := channel.NewModel(cfg.Channel, streams, pos)
+	model.SetObs(reg)
 	if len(cfg.Outages) > 0 {
 		// Per-terminal windows so the hot-path oracle scans only the few
 		// outages that concern the queried terminal.
@@ -172,6 +188,7 @@ func New(cfg Config, factory AgentFactory) *World {
 		})
 	}
 	common := mac.NewCommonChannel(kernel, model, streams.Stream(streamKindMAC))
+	common.SetObs(reg)
 	data := mac.NewDataPlane(kernel, model)
 	collector := metrics.NewCollector(cfg.Duration)
 	meter := energy.NewMeter(energy.DefaultModel(), cfg.N)
@@ -201,9 +218,12 @@ func New(cfg Config, factory AgentFactory) *World {
 	}
 	data.OnDataTransmit = meter.DataTransmitted
 
-	var recorder network.Recorder = collector
+	// Innermost recorder wrapper: the delivery-delay histogram must see
+	// every delivery, and sitting inside the trace/timeseries tees keeps
+	// their RouteRecorder promotion (which must stay outermost) intact.
+	var recorder network.Recorder = &obsRecorder{inner: collector, reg: reg}
 	if cfg.Trace != nil {
-		recorder = trace.WrapRecorder(collector, cfg.Trace)
+		recorder = trace.WrapRecorder(recorder, cfg.Trace)
 	}
 	if cfg.Timeseries != nil {
 		// Outermost wrapper: the node runtime's RouteRecorder type
@@ -221,6 +241,7 @@ func New(cfg Config, factory AgentFactory) *World {
 		Data:      data,
 		Collector: collector,
 		Meter:     meter,
+		Obs:       reg,
 	}
 
 	w.Nodes = make([]*network.Node, cfg.N)
@@ -278,18 +299,53 @@ func (w *World) BootTopology() *routing.Graph {
 }
 
 // Run starts every terminal and the workload, executes the simulation to
-// the configured horizon, and returns the metrics summary.
+// the configured horizon, and returns the metrics summary. After the
+// horizon every pooled packet still parked in a MAC slot, link queue,
+// query buffer, or jittered relay is silently drained back to the pool,
+// so a run that ends with packet.Live() above its starting level has
+// found a genuine leak.
 func (w *World) Run() metrics.Summary {
 	for _, nd := range w.Nodes {
 		nd.Start()
 	}
 	gen := traffic.NewGenerator(w.Kernel, w.Nodes)
+	gen.Obs = w.Obs
 	gen.Start(w.Flows, w.Streams, w.Cfg.Duration)
 	w.Kernel.Run(w.Cfg.Duration)
+	drained := w.Common.Drain()
+	for _, nd := range w.Nodes {
+		drained += nd.Drain()
+	}
+	w.Obs.Add(obs.CDrainReleased, uint64(drained))
 	s := w.Collector.Summary()
 	s.Energy = w.Meter.Stats(s.GoodputBps * w.Cfg.Duration.Seconds())
 	s.Events = w.Kernel.Executed()
+	snap := w.Obs.Snapshot()
+	s.Obs = &snap
 	return s
+}
+
+// obsRecorder is the innermost recorder decorator: it observes each
+// delivery's end-to-end delay into the registry's streaming histogram
+// before the aggregate collector sees the event. It deliberately does
+// NOT implement network.RouteRecorder — route churn discovery must keep
+// resolving to the outermost timeseries tee.
+type obsRecorder struct {
+	inner network.Recorder
+	reg   *obs.Registry
+}
+
+func (r *obsRecorder) DataGenerated(pkt *packet.Packet, now time.Duration) {
+	r.inner.DataGenerated(pkt, now)
+}
+
+func (r *obsRecorder) DataDelivered(pkt *packet.Packet, now time.Duration) {
+	r.reg.Observe(obs.HDelayNs, uint64(now-pkt.CreatedAt))
+	r.inner.DataDelivered(pkt, now)
+}
+
+func (r *obsRecorder) DataDropped(pkt *packet.Packet, reason network.DropReason, now time.Duration) {
+	r.inner.DataDropped(pkt, reason, now)
 }
 
 // pinned is the Positioner of a scripted static terminal.

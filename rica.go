@@ -50,6 +50,8 @@ import (
 	"rica/internal/batch"
 	"rica/internal/experiment"
 	"rica/internal/metrics"
+	"rica/internal/obs"
+	"rica/internal/packet"
 	"rica/internal/scenario"
 	"rica/internal/timeseries"
 	"rica/internal/trace"
@@ -111,6 +113,13 @@ type SimConfig struct {
 	// Telemetry.Sink to stream it; plain Simulate discards an unsunk
 	// timeline.
 	Telemetry *Telemetry
+	// Obs, when non-nil, is the observability registry the run counts
+	// into. Its atomic counters may be read concurrently while the run
+	// executes (live heartbeats, the HTTP stats endpoint); attaching one
+	// never changes simulation results. When nil the world creates a
+	// private registry and the end-of-run snapshot still lands on
+	// Summary.Obs.
+	Obs *ObsRegistry
 }
 
 // Telemetry configures per-interval timeline collection for one run.
@@ -120,6 +129,12 @@ type Telemetry struct {
 	// Sink, when non-nil, receives the finished timeline after the run
 	// (stamped with the protocol and effective seed).
 	Sink TimelineSink
+	// Streaming switches delay percentiles to the bounded-memory
+	// histogram path: constant memory per interval instead of one sample
+	// per delivery, at ~3 % relative quantile error (see
+	// docs/OBSERVABILITY.md). Off by default; the exact path remains the
+	// golden oracle.
+	Streaming bool
 }
 
 // Simulate runs one simulation and returns its measurements.
@@ -197,8 +212,13 @@ func simulate(cfg SimConfig, rec *trace.Recorder) (Summary, Timeline, *trace.Rec
 		wcfg.Node.BufferCap = cfg.BufferCap
 	}
 	wcfg.Trace = rec
+	wcfg.Obs = cfg.Obs
 	if cfg.Telemetry != nil {
-		wcfg.Timeseries = timeseries.NewCollector(cfg.Telemetry.Interval, wcfg.Duration)
+		if cfg.Telemetry.Streaming {
+			wcfg.Timeseries = timeseries.NewStreamingCollector(cfg.Telemetry.Interval, wcfg.Duration)
+		} else {
+			wcfg.Timeseries = timeseries.NewCollector(cfg.Telemetry.Interval, wcfg.Duration)
+		}
 	}
 	summary := world.New(wcfg, experiment.Factory(cfg.Protocol, cfg.Rate)).Run()
 	var tl Timeline
@@ -317,3 +337,35 @@ type BatchTelemetry = batch.Telemetry
 // seeds and results are assembled in grid order, so the same scenarios
 // and base seed produce bit-identical exports regardless of parallelism.
 func RunBatch(cfg BatchConfig) (BatchResult, error) { return batch.Run(cfg) }
+
+// Observability types: an ObsRegistry holds one run's (or one batch
+// cell's) subsystem counters and delay histogram; an ObsSnapshot is its
+// deterministic export form (attached to Summary.Obs and BatchCell.Obs);
+// an ObsHub aggregates registries across concurrent runs and serves the
+// live JSON/Prometheus surfaces; ObsPoolStats is the process-global
+// pooled-packet accounting.
+type (
+	ObsRegistry  = obs.Registry
+	ObsSnapshot  = obs.Snapshot
+	ObsHub       = obs.Hub
+	ObsPoolStats = obs.PoolStats
+)
+
+// NewObsRegistry builds an empty observability registry to pass as
+// SimConfig.Obs (or BatchConfig.Hub attachment) when a caller wants to
+// watch counters while a run executes.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsHub builds an empty hub. Attach registries (or set
+// BatchConfig.Hub) and serve hub.Handler() for live stats over HTTP.
+func NewObsHub() *ObsHub { return obs.NewHub() }
+
+// PoolStats reports the process-global pooled-packet accounting: total
+// gets and releases, packets currently live outside the pool, and the
+// live high-water mark. Process-wide (parallel runs share one pool), so
+// it belongs on live surfaces and process-level snapshots, never in
+// per-cell deterministic exports. Wire it as ObsHub.PoolFunc.
+func PoolStats() ObsPoolStats {
+	gets, releases, live, high := packet.PoolStats()
+	return ObsPoolStats{Gets: gets, Releases: releases, Live: live, HighWater: high}
+}

@@ -16,7 +16,12 @@
 #
 # wrapped as:
 #
-#   {"label": ..., "go": ..., "benchmarks": [...]}
+#   {"label": ..., "go": ..., "benchmarks": [...], "obs": {...}}
+#
+# The "obs" object is the observability counter snapshot of a fixed
+# reference run (chain-10, 10 s, seed 1 — deterministic per toolchain),
+# so BENCH_<n>.json also tracks the event/cache/drain counter profile
+# across PRs, not just timings.
 #
 # Numbers are the per-benchmark MINIMUM across -count repetitions — the
 # least-noise estimate on a shared machine.
@@ -30,7 +35,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH='BenchmarkSimulationThroughput|BenchmarkKernelScheduleAndRun|BenchmarkFigure2a'
+BENCH='BenchmarkSimulationThroughput|BenchmarkInstrumentedThroughput|BenchmarkKernelScheduleAndRun|BenchmarkFigure2a'
 BENCHTIME=5x
 COUNT=3
 LABEL=""
@@ -99,6 +104,23 @@ END {
     }
     print "]}"
 }')
+
+# Counter snapshot of the fixed reference run, folded into the record.
+# The snapshot is per-cell deterministic; the process-wide pool stats it
+# carries (gets/releases/high-water) vary with the run, so strip them.
+OBS_TMP=$(mktemp)
+trap 'rm -f "$OBS_TMP"' EXIT
+go run ./cmd/ricasim -scenario chain-10 -protocols RICA -trials 1 -duration 10s \
+    -obs "$OBS_TMP" >/dev/null 2>&1
+OBS=$(awk '
+    /"pool": \{/ { inpool = 1; next }
+    inpool { if (/\}/) inpool = 0; next }
+    { lines[++n] = $0 }
+    END {
+        sub(/,[[:space:]]*$/, "", lines[n-1]) # comma left dangling by the cut
+        for (i = 1; i <= n; i++) print lines[i]
+    }' "$OBS_TMP")
+JSON="${JSON%\}}, \"obs\": ${OBS}}"
 
 if [ -n "$OUT" ]; then
     printf '%s\n' "$JSON" > "$OUT"
