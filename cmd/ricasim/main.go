@@ -45,7 +45,8 @@ func main() {
 		speeds      = flag.String("speeds", "0,12,24,36,48,60,72", "comma-separated mean speeds (km/h)")
 		protocols   = flag.String("protocols", "", "comma-separated protocol subset (default: all five)")
 		format      = flag.String("format", "table", "output format: table, csv, json (batch), or chart (figures 6a/6b)")
-		parallelism = flag.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
+		parallelism = flag.Int("parallelism", 0, "max concurrent trials — whole runs side by side (0 = GOMAXPROCS)")
+		shards      = flag.Int("shards", 1, "spatial shards inside each run: broadcast geometry fans out across this many cores (0 = GOMAXPROCS, 1 = serial); results are bit-identical for every value, unlike -parallelism this speeds up a single run")
 		scenarios   = flag.String("scenario", "", "run a batch over comma-separated scenario names and/or JSON spec files")
 		list        = flag.Bool("list-scenarios", false, "print the built-in scenario catalog and exit")
 		out         = flag.String("out", "", "write batch results to this file (.json or .csv; default stdout)")
@@ -73,10 +74,17 @@ func main() {
 	if *stats < 0 {
 		fatalf("-stats must be positive, got %v", *stats)
 	}
+	if *shards < 0 {
+		fatalf("-shards must be non-negative, got %d (0 = one shard per core)", *shards)
+	}
+	if *shards == 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
 	var hub *rica.ObsHub
 	if *stats > 0 || *statsAddr != "" || *obsOut != "" {
 		hub = rica.NewObsHub()
 		hub.PoolFunc = rica.PoolStats
+		hub.ShardFunc = rica.ShardStats
 	}
 	if *statsAddr != "" {
 		ln, err := net.Listen("tcp", *statsAddr)
@@ -157,8 +165,8 @@ func main() {
 		if flagSet("figure") {
 			fatalf("-figure and -scenario are mutually exclusive")
 		}
-		runBatch(*scenarios, *protocols, *trials, *seed, *parallelism, *duration,
-			*format, *out, *timeline, *interval, *streaming, hub)
+		runBatch(*scenarios, *protocols, *trials, *seed, *parallelism, *shards,
+			*duration, *format, *out, *timeline, *interval, *streaming, hub)
 		return
 	}
 
@@ -171,11 +179,17 @@ func main() {
 	if *timeline != "" {
 		fatalf("-timeline is only supported with -scenario batches")
 	}
+	// The figure experiments simulate the paper's 50-terminal field; more
+	// shards than terminals could never all own work.
+	if *shards > 50 {
+		fatalf("-shards %d exceeds the figure experiments' 50 terminals", *shards)
+	}
 	opts := rica.Options{
 		Trials:      *trials,
 		Duration:    *duration,
 		BaseSeed:    *seed,
 		Parallelism: *parallelism,
+		Shards:      *shards,
 	}
 	var err error
 	if opts.Speeds, err = parseFloats(*speeds); err != nil {
@@ -290,7 +304,7 @@ func listScenarios() {
 
 // runBatch executes the scenario × protocol × seed grid and writes the
 // results in the requested format.
-func runBatch(list, protocols string, trials int, seed int64, parallelism int,
+func runBatch(list, protocols string, trials int, seed int64, parallelism, shards int,
 	duration time.Duration, format, out, timeline string, interval time.Duration,
 	streaming bool, hub *rica.ObsHub) {
 	durationSet := flagSet("duration")
@@ -303,6 +317,7 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism int,
 		Trials:   trials,
 		BaseSeed: seed,
 		Workers:  parallelism,
+		Shards:   shards,
 		Hub:      hub,
 		OnProgress: func(p rica.BatchProgress) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s seed=%d delivery=%.1f%%\n",
@@ -349,6 +364,9 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism int,
 		}
 		if durationSet {
 			spec.Duration = rica.ScenarioDuration(duration)
+		}
+		if n := spec.Topology.NodeCount(); shards > n {
+			fatalf("-shards %d exceeds scenario %s's %d nodes", shards, spec.Name, n)
 		}
 		cfg.Scenarios = append(cfg.Scenarios, spec)
 	}

@@ -50,6 +50,12 @@ type Config struct {
 	// sink serially, in grid order, after all cells complete — so equal
 	// batches stream byte-identical telemetry regardless of Workers.
 	Telemetry *Telemetry
+	// Shards, when ≥ 2, runs every cell's broadcast geometry scans across
+	// that many spatial shards inside the run (see rica.SimConfig.Shards).
+	// Orthogonal to Workers: Workers parallelizes across cells, Shards
+	// within each. Cell summaries are bit-identical for every value, so
+	// exports stay reproducible regardless of either knob.
+	Shards int
 	// Hub, when non-nil, has every in-flight cell's observability registry
 	// attached for the duration of its run, so live surfaces (the stats
 	// heartbeat, the HTTP endpoint) see batch-wide aggregate counters while
@@ -197,7 +203,7 @@ func Run(cfg Config) (Result, error) {
 				if timelines != nil {
 					tl = &timelines[i]
 				}
-				results[i] = runCell(cells[i], cfg.Telemetry, tl, cfg.Hub)
+				results[i] = runCell(cells[i], &cfg, tl)
 				if cfg.OnProgress != nil {
 					progress.Lock()
 					done++
@@ -236,9 +242,11 @@ func Run(cfg Config) (Result, error) {
 // runCell executes one fully deterministic simulation; when telemetry is
 // enabled it attaches a fresh per-run collector and stores the finished
 // timeline through tl.
-func runCell(c cell, tele *Telemetry, tl *timeseries.Timeline, hub *obs.Hub) CellResult {
+func runCell(c cell, cfg *Config, tl *timeseries.Timeline) CellResult {
+	tele, hub := cfg.Telemetry, cfg.Hub
 	wcfg := c.cfg // each cell mutates its own copy
 	wcfg.Seed = c.seed
+	wcfg.Shards = cfg.Shards
 	if tele != nil {
 		if tele.Streaming {
 			wcfg.Timeseries = timeseries.NewStreamingCollector(tele.Interval, wcfg.Duration)

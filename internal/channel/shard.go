@@ -1,0 +1,346 @@
+// Sharded channel oracle: the multicore engine behind broadcast
+// completions (DESIGN.md §10).
+//
+// The simulator's event dispatch stays strictly serial — that is what
+// keeps runs bit-identical (the MAC backoff stream, the fading sample
+// paths, and the kernel's (at, seq) order are all global) — but the
+// geometry underneath a broadcast completion is not: the sender's
+// neighbour list and the neighbour list of every overlapping transmitter
+// are independent, idempotent derivations from the same per-instant
+// snapshot. This file fans exactly that slice out across a
+// sim.ShardPool.
+//
+// Decomposition: the grid's columns are partitioned into P contiguous
+// stripes (geom.ShardMap), recomputed at every grid rebuild — the epoch
+// barrier. A candidate belongs to the stripe holding its build-time
+// bucket column, so each worker owns a disjoint id set and is the sole
+// writer of those terminals' snapshot slots (position, outage flag) and
+// of the pair slots (centre, owned id). Centres themselves — the sender
+// and the interfering transmitters, whose slots workers share read-only —
+// are warmed serially before the fan-out. The per-stripe results arrive
+// in ascending id order and are k-way merged serially, reproducing the
+// serial Neighbors output bit-for-bit; verdicts, deliveries, and every
+// RNG draw then happen on the dispatch goroutine exactly as in the
+// serial engine.
+package channel
+
+import (
+	"time"
+
+	"rica/internal/geom"
+	"rica/internal/obs"
+	"rica/internal/sim"
+)
+
+// DefaultShardGrain is the fan-out threshold: a completion whose centre
+// disks hold fewer bucketed candidates than this (grid CountRect
+// estimate, a deterministic upper bound) stays serial. Crossing the pool
+// barrier costs a few microseconds of wake-up and stall, so tiny scans —
+// the common case in sparse fields — would lose wall time to win
+// nothing; dense flood storms, where one completion touches hundreds of
+// candidates, are where the shards pay off.
+const DefaultShardGrain = 96
+
+// ScanLists is one sharded broadcast scan's result: the completing
+// sender's neighbour list plus, for every interfering transmitter, that
+// transmitter's neighbour list (the MAC's collision-marking input). The
+// lists alias oracle-owned buffers valid until the next scan; the MAC
+// copies what it needs before delivering (handlers can re-enter the
+// oracle).
+type ScanLists struct {
+	from    []int
+	oIDs    []int
+	oLists  [][]int
+	nOthers int
+}
+
+// Sender returns the completing sender's in-range neighbour list,
+// ascending by id — bit-identical to Model.Neighbors at the same
+// instant.
+func (sl *ScanLists) Sender() []int { return sl.from }
+
+// Others reports how many interfering transmitters were scanned.
+func (sl *ScanLists) Others() int { return sl.nOthers }
+
+// Other returns the k-th interfering transmitter and its neighbour list.
+func (sl *ScanLists) Other(k int) (id int, neighbors []int) {
+	return sl.oIDs[k], sl.oLists[k]
+}
+
+// shardState is the oracle's sharding machinery, hung off the Model when
+// EnableSharding is called. Everything per-scan is reused; steady state
+// allocates nothing.
+type shardState struct {
+	pool  *sim.ShardPool
+	p     int
+	grain int
+
+	smap   geom.ShardMap
+	mapGen uint64 // candGen the stripe map was built for; 0 = never
+
+	// Per-stripe, per-centre candidate sublists over the current grid
+	// build: stripe s's sublist of node i holds exactly the candidates of
+	// i whose build column lies in s's stripe. Their disjoint union over
+	// the stripes is the serial candidate list.
+	cand  [][][]candEntry // [stripe][node]
+	stamp [][]uint64      // [stripe][node] == candGen when valid
+	ndBuf [][]geom.IDDist // per-stripe grid-query scratch
+
+	// Per-scan inputs, written serially before the fan-out and read-only
+	// during it.
+	centers []int32
+	snap    *snapshot
+	grid    *geom.Grid
+	at      time.Duration
+	slack   float64
+
+	// Per-stripe, per-centre result lists (ids passing every filter, in
+	// ascending order), merged serially after the barrier.
+	res [][][]int32 // [stripe][centerIdx]
+
+	out   ScanLists
+	heads []int // merge cursors, one per stripe
+
+	seen    []uint64 // centre-set dedupe stamps, by node
+	seenGen uint64
+}
+
+// EnableSharding attaches a worker pool to the model: broadcast scans
+// (BroadcastScan) above the grain threshold fan out across the pool's
+// shards. grain 0 selects DefaultShardGrain; a negative grain fans out
+// every scan (tests use it to force the parallel path on small worlds).
+// The serial query paths are untouched; a model without sharding answers
+// BroadcastScan with nil and the MAC falls back to them.
+func (m *Model) EnableSharding(pool *sim.ShardPool, grain int) {
+	n := len(m.pos)
+	p := pool.Shards()
+	sh := &shardState{pool: pool, p: p, grain: grain}
+	if grain == 0 {
+		sh.grain = DefaultShardGrain
+	}
+	sh.cand = make([][][]candEntry, p)
+	sh.stamp = make([][]uint64, p)
+	sh.ndBuf = make([][]geom.IDDist, p)
+	sh.res = make([][][]int32, p)
+	for s := 0; s < p; s++ {
+		sh.cand[s] = make([][]candEntry, n)
+		sh.stamp[s] = make([]uint64, n)
+	}
+	sh.heads = make([]int, p)
+	sh.seen = make([]uint64, n)
+	pool.SetWork(func(shard int) { m.shardScan(shard) })
+	m.shard = sh
+}
+
+// ShardingEnabled reports whether a pool is attached.
+func (m *Model) ShardingEnabled() bool { return m.shard != nil }
+
+// BroadcastScan computes, in one sharded pass, everything a broadcast
+// completion needs from the geometry: the sender's neighbour list and —
+// for every candidate transmitter in others that interferes with the
+// sender — that transmitter's neighbour list. others is the MAC's
+// temporal-overlap set (duplicates allowed); the Interferes filter
+// applied here is the same probe the serial overlaps() path makes, so
+// the returned transmitter set equals the serial obuf's id set.
+//
+// It returns nil when sharding is disabled or the scan is below the
+// fan-out grain; the caller then runs the serial path, which recomputes
+// the same values through the warm caches. A non-nil result is
+// bit-identical to the serial derivation: same lists, same order, same
+// cached distances — only cache hit/miss counters can differ.
+func (m *Model) BroadcastScan(from int, others []int, at time.Duration) *ScanLists {
+	sh := m.shard
+	if sh == nil {
+		return nil
+	}
+	s := m.sync(at)
+	if m.downAt(s, from, at) {
+		// A silenced sender has no receivers; the serial path would not
+		// even build the grid. Hand back an empty result without fanning
+		// out so the completion stays as cheap as the serial one.
+		sh.out.from = sh.out.from[:0]
+		sh.out.nOthers = 0
+		return &sh.out
+	}
+
+	// Centre set: the sender first, then every distinct interfering
+	// transmitter, in caller order (the MAC's stamp loop is
+	// order-insensitive, but determinism is free here).
+	sh.seenGen++
+	sh.centers = append(sh.centers[:0], int32(from))
+	sh.seen[from] = sh.seenGen
+	for _, o := range others {
+		if sh.seen[o] == sh.seenGen {
+			continue
+		}
+		sh.seen[o] = sh.seenGen
+		if !m.Interferes(o, from, at) {
+			continue
+		}
+		sh.centers = append(sh.centers, int32(o))
+	}
+
+	g, slack := m.gridAt(s, at)
+	if sh.mapGen != s.candGen {
+		// Epoch barrier: the stripe partition follows the grid build.
+		sh.smap.Build(g, sh.p)
+		sh.mapGen = s.candGen
+	}
+
+	// Fan-out gate: a deterministic work estimate (bucketed candidates
+	// under all centre disks) against the grain, plus the boundary-span
+	// count while the column spans are in hand.
+	est := 0
+	boundary := false
+	for _, c := range sh.centers {
+		pt := g.PointAt(int(c))
+		est += g.CountRect(pt, s.candRadius)
+		if sLo, sHi := sh.smap.Span(g.ColSpan(pt, s.candRadius)); sHi > sLo {
+			boundary = true
+		}
+	}
+	if sh.grain > 0 && est < sh.grain {
+		m.obs.Inc(obs.CShardFallbacks)
+		return nil
+	}
+
+	// Phase A (serial): warm every centre's kinematics and the
+	// centre-to-centre pair distances, so workers touching a centre — as
+	// a read-only scan origin or as another centre's candidate — hit the
+	// caches instead of writing shared slots.
+	for _, c := range sh.centers {
+		m.positionAt(s, int(c), at)
+		m.downAt(s, int(c), at)
+	}
+	for a := 0; a < len(sh.centers); a++ {
+		for b := a + 1; b < len(sh.centers); b++ {
+			i, j := int(sh.centers[a]), int(sh.centers[b])
+			m.distAtIdx(s, m.pairIndex(i, j), i, j, at)
+		}
+	}
+	for shard := 0; shard < sh.p; shard++ {
+		for len(sh.res[shard]) < len(sh.centers) {
+			sh.res[shard] = append(sh.res[shard], nil)
+		}
+	}
+
+	m.obs.Inc(obs.CShardFanouts)
+	if boundary {
+		m.obs.Inc(obs.CShardBoundary)
+	}
+	sh.snap, sh.grid, sh.at, sh.slack = s, g, at, slack
+	sh.pool.Fanout()
+	sh.merge()
+	return &sh.out
+}
+
+// shardScan is the worker body: for every centre, filter the stripe's
+// candidate sublist exactly as the serial Neighbors walk would — fresh
+// grids reuse the recorded build distances and warm the pair-distance
+// cache, stale grids resolve only the drift annulus — writing results
+// and snapshot slots owned by this stripe alone.
+func (m *Model) shardScan(shard int) {
+	sh := m.shard
+	s, g, at, slack := sh.snap, sh.grid, sh.at, sh.slack
+	colLo, colHi := sh.smap.Owns(shard)
+	safe := slack + slack*slackEps + slackEps
+	in, out := m.cfg.Range-2*safe, m.cfg.Range+2*safe
+	for k, c := range sh.centers {
+		dst := sh.res[shard][k][:0]
+		i := int(c)
+		if (m.down != nil && s.down[i]) || colLo >= colHi {
+			sh.res[shard][k] = dst
+			continue
+		}
+		cands := m.shardCandidates(sh, shard, g, i, colLo, colHi-1)
+		if slack == 0 {
+			for _, e := range cands {
+				if e.d > m.cfg.Range || m.downAt(s, int(e.id), at) {
+					continue
+				}
+				if s.pairDistGen[e.idx] != s.gen {
+					s.pairDist[e.idx] = e.d
+					s.pairDistGen[e.idx] = s.gen
+				}
+				dst = append(dst, e.id)
+			}
+		} else {
+			for _, e := range cands {
+				j := int(e.id)
+				if e.d > out || m.downAt(s, j, at) {
+					continue
+				}
+				if e.d > in {
+					m.obs.Inc(obs.CAnnulusChecks)
+					if m.distAtIdx(s, int(e.idx), i, j, at) > m.cfg.Range {
+						continue
+					}
+				}
+				dst = append(dst, e.id)
+			}
+		}
+		sh.res[shard][k] = dst
+	}
+}
+
+// shardCandidates returns centre i's candidate sublist for one stripe —
+// the stripe-clipped equivalent of the serial candidates() list, cached
+// per (stripe, centre, grid build) with the same build-distance and
+// pair-index precomputation.
+func (m *Model) shardCandidates(sh *shardState, shard int, g *geom.Grid, i, colLo, colHi int) []candEntry {
+	if sh.stamp[shard][i] == sh.snap.candGen {
+		return sh.cand[shard][i]
+	}
+	buf := g.NearDistCols(g.PointAt(i), sh.snap.candRadius, colLo, colHi, sh.ndBuf[shard][:0])
+	sh.ndBuf[shard] = buf
+	lst := sh.cand[shard][i][:0]
+	for _, c := range buf {
+		j := int(c.ID)
+		if j == i {
+			continue
+		}
+		lst = append(lst, candEntry{id: c.ID, idx: int32(m.pairIndex(i, j)), d: c.D})
+	}
+	sh.cand[shard][i] = lst
+	sh.stamp[shard][i] = sh.snap.candGen
+	return lst
+}
+
+// merge folds the per-stripe result lists into the output envelope: for
+// each centre, a P-way merge of already-ascending sublists over disjoint
+// id sets — the exact order the serial scan produces.
+func (sh *shardState) merge() {
+	sh.out.from = sh.mergeCenter(0, sh.out.from[:0])
+	sh.out.nOthers = len(sh.centers) - 1
+	for len(sh.out.oLists) < sh.out.nOthers {
+		sh.out.oLists = append(sh.out.oLists, nil)
+		sh.out.oIDs = append(sh.out.oIDs, 0)
+	}
+	for k := 1; k < len(sh.centers); k++ {
+		sh.out.oIDs[k-1] = int(sh.centers[k])
+		sh.out.oLists[k-1] = sh.mergeCenter(k, sh.out.oLists[k-1][:0])
+	}
+}
+
+func (sh *shardState) mergeCenter(k int, dst []int) []int {
+	for s := 0; s < sh.p; s++ {
+		sh.heads[s] = 0
+	}
+	for {
+		best, bestID := -1, int32(0)
+		for s := 0; s < sh.p; s++ {
+			lst := sh.res[s][k]
+			if sh.heads[s] >= len(lst) {
+				continue
+			}
+			if id := lst[sh.heads[s]]; best < 0 || id < bestID {
+				best, bestID = s, id
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		sh.heads[best]++
+		dst = append(dst, int(bestID))
+	}
+}

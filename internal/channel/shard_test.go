@@ -1,0 +1,259 @@
+package channel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rica/internal/geom"
+	"rica/internal/mobility"
+	"rica/internal/obs"
+	"rica/internal/sim"
+)
+
+// mkTwin builds one model over a mixed moving/parked field from seed;
+// calling it twice with the same seed yields terminals on identical
+// trajectory streams, so a serial twin and a sharded twin can be driven
+// through the same schedule and compared answer by answer.
+func mkTwin(seed int64, n int, outage func(i int, at time.Duration) bool) *Model {
+	mcfg := mobility.Config{
+		Field:    geom.Field{Width: 1400, Height: 700},
+		MaxSpeed: 12,
+		Pause:    time.Second,
+	}
+	streams := sim.NewStreams(seed)
+	pos := make([]Positioner, n)
+	for i := range pos {
+		if i%7 == 6 {
+			pos[i] = parked(geom.Point{X: float64((i * 211) % 1400), Y: float64((i * 157) % 700)})
+		} else {
+			pos[i] = mobility.NewNode(mcfg, streams.StreamAt(0x_AB, uint64(i)))
+		}
+	}
+	m := NewModel(DefaultConfig(), streams, pos)
+	if outage != nil {
+		m.SetOutage(outage)
+	}
+	return m
+}
+
+// serialScanExpectation computes what BroadcastScan must return, using
+// only the serial twin's public query surface: the sender's Neighbors
+// list, and the Neighbors list of every distinct interfering candidate.
+func serialScanExpectation(m *Model, from int, others []int, at time.Duration) (sender []int, oIDs []int, oLists [][]int) {
+	sender = m.Neighbors(from, at, nil)
+	seen := map[int]bool{from: true}
+	for _, o := range others {
+		if seen[o] {
+			continue
+		}
+		seen[o] = true
+		if !m.Interferes(o, from, at) {
+			continue
+		}
+		oIDs = append(oIDs, o)
+		oLists = append(oLists, m.Neighbors(o, at, nil))
+	}
+	return sender, oIDs, oLists
+}
+
+// TestBroadcastScanMatchesSerial drives a sharded model and a serial twin
+// through one randomized schedule of broadcast scans, class probes, and
+// range queries across many grid rebuilds. Every scan's lists must be
+// identical to the serial derivation, and the interleaved class probes
+// pin the fading streams: if the sharded path ever touched a link or
+// perturbed a position, the twins' sample paths would split.
+func TestBroadcastScanMatchesSerial(t *testing.T) {
+	outage := func(i int, at time.Duration) bool {
+		off := time.Duration(i%9) * 3 * time.Second
+		return at >= off && at < off+2*time.Second
+	}
+	for _, shards := range []int{2, 3, 8} {
+		for seed := int64(1); seed <= 2; seed++ {
+			const n = 64
+			serial := mkTwin(seed, n, outage)
+			sharded := mkTwin(seed, n, outage)
+			reg := obs.NewRegistry()
+			sharded.SetObs(reg)
+			pool := sim.NewShardPool(shards)
+			sharded.EnableSharding(pool, -1) // negative grain: every scan fans out
+
+			sched := rand.New(rand.NewSource(seed*131 + int64(shards)))
+			others := make([]int, 0, 8)
+			for at := time.Duration(0); at <= 25*time.Second; at += time.Duration(40+sched.Intn(300)) * time.Millisecond {
+				from := sched.Intn(n)
+				others = others[:0]
+				for k := sched.Intn(5); k > 0; k-- {
+					if o := sched.Intn(n); o != from {
+						others = append(others, o)
+					}
+				}
+				if sched.Intn(4) == 0 && len(others) > 0 {
+					others = append(others, others[0]) // duplicate transmitter id
+				}
+
+				sl := sharded.BroadcastScan(from, others, at)
+				if sl == nil {
+					t.Fatalf("shards=%d seed=%d at %v: scan declined with negative grain", shards, seed, at)
+				}
+				wantSender, wantIDs, wantLists := serialScanExpectation(serial, from, others, at)
+				if !equalInts(sl.Sender(), wantSender) {
+					t.Fatalf("shards=%d seed=%d at %v: sender list %v, serial %v",
+						shards, seed, at, sl.Sender(), wantSender)
+				}
+				if len(sl.Sender()) > 0 {
+					if sl.Others() != len(wantIDs) {
+						t.Fatalf("shards=%d seed=%d at %v: %d others, serial %d",
+							shards, seed, at, sl.Others(), len(wantIDs))
+					}
+					for k := 0; k < sl.Others(); k++ {
+						id, lst := sl.Other(k)
+						if id != wantIDs[k] || !equalInts(lst, wantLists[k]) {
+							t.Fatalf("shards=%d seed=%d at %v: other[%d] = %d %v, serial %d %v",
+								shards, seed, at, k, id, lst, wantIDs[k], wantLists[k])
+						}
+					}
+				}
+
+				// Fading-stream pin: the twins must still agree on classes.
+				i, j := sched.Intn(n), sched.Intn(n)
+				if i != j {
+					if a, b := serial.Class(i, j, at), sharded.Class(i, j, at); a != b {
+						t.Fatalf("shards=%d seed=%d at %v: Class(%d,%d) diverged: %v vs %v",
+							shards, seed, at, i, j, a, b)
+					}
+				}
+			}
+			if reg.Counter(obs.CShardFanouts) == 0 {
+				t.Fatalf("shards=%d seed=%d: no fan-outs recorded", shards, seed)
+			}
+			pool.Close()
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBroadcastScanGrainGate checks the deterministic fall-back: above
+// grain the scan engages, below it declines and counts the fallback.
+func TestBroadcastScanGrainGate(t *testing.T) {
+	m := mkTwin(3, 40, nil)
+	reg := obs.NewRegistry()
+	m.SetObs(reg)
+	pool := sim.NewShardPool(2)
+	defer pool.Close()
+	m.EnableSharding(pool, 1<<30) // unreachable grain: every scan declines
+	if sl := m.BroadcastScan(0, nil, time.Second); sl != nil {
+		t.Fatal("scan engaged below grain")
+	}
+	if reg.Counter(obs.CShardFallbacks) != 1 {
+		t.Fatalf("fallbacks = %d, want 1", reg.Counter(obs.CShardFallbacks))
+	}
+	if reg.Counter(obs.CShardFanouts) != 0 {
+		t.Fatalf("fanouts = %d, want 0", reg.Counter(obs.CShardFanouts))
+	}
+}
+
+// TestBroadcastScanThreeStripes pins the cross-stripe case: a parked line
+// of terminals split into three stripes, with the sender's disk spanning
+// all of them. The merged list must equal the serial scan and the
+// boundary-event counter must fire.
+func TestBroadcastScanThreeStripes(t *testing.T) {
+	const n = 30
+	mk := func() *Model {
+		pos := make([]Positioner, n)
+		for i := range pos {
+			// 30 terminals spaced 60 m apart: the 250 m default range covers
+			// ~8 of them, crossing stripe cuts wherever they land.
+			pos[i] = parked(geom.Point{X: float64(i) * 60, Y: 50})
+		}
+		return NewModel(DefaultConfig(), sim.NewStreams(17), pos)
+	}
+	serial := mk()
+	sharded := mk()
+	reg := obs.NewRegistry()
+	sharded.SetObs(reg)
+	pool := sim.NewShardPool(3)
+	defer pool.Close()
+	sharded.EnableSharding(pool, -1)
+
+	for from := 0; from < n; from++ {
+		sl := sharded.BroadcastScan(from, []int{(from + 4) % n}, time.Second)
+		wantSender, wantIDs, wantLists := serialScanExpectation(serial, from, []int{(from + 4) % n}, time.Second)
+		if !equalInts(sl.Sender(), wantSender) {
+			t.Fatalf("from=%d: sender %v, serial %v", from, sl.Sender(), wantSender)
+		}
+		for k := 0; k < sl.Others() && k < len(wantIDs); k++ {
+			id, lst := sl.Other(k)
+			if id != wantIDs[k] || !equalInts(lst, wantLists[k]) {
+				t.Fatalf("from=%d other[%d]: %d %v, serial %d %v", from, k, id, lst, wantIDs[k], wantLists[k])
+			}
+		}
+	}
+	if reg.Counter(obs.CShardBoundary) == 0 {
+		t.Fatal("no boundary events recorded on a stripe-spanning field")
+	}
+}
+
+// TestBroadcastScanBoundaryTerminal pins ownership at an exact stripe
+// cut: terminals sitting exactly on column-boundary coordinates must be
+// owned by exactly one stripe — never scanned twice, never dropped.
+func TestBroadcastScanBoundaryTerminal(t *testing.T) {
+	cell := DefaultConfig().Range // grid cell size equals the range
+	const n = 12
+	mk := func() *Model {
+		pos := make([]Positioner, n)
+		for i := range pos {
+			// Every terminal exactly on a cell-boundary x coordinate.
+			pos[i] = parked(geom.Point{X: float64(i%6) * cell, Y: float64(i/6) * 10})
+		}
+		return NewModel(DefaultConfig(), sim.NewStreams(23), pos)
+	}
+	serial := mk()
+	sharded := mk()
+	pool := sim.NewShardPool(2)
+	defer pool.Close()
+	sharded.EnableSharding(pool, -1)
+	for from := 0; from < n; from++ {
+		sl := sharded.BroadcastScan(from, nil, 0)
+		want := serial.Neighbors(from, 0, nil)
+		if !equalInts(sl.Sender(), want) {
+			t.Fatalf("from=%d: sender %v, serial %v", from, sl.Sender(), want)
+		}
+	}
+}
+
+// TestBroadcastScanSteadyStateAllocFree pins the per-epoch allocation
+// budget of the sharded path at zero on a static field (no rebuilds) once
+// the caches are warm.
+func TestBroadcastScanSteadyStateAllocFree(t *testing.T) {
+	const n = 40
+	pos := make([]Positioner, n)
+	for i := range pos {
+		pos[i] = parked(geom.Point{X: float64(i%8) * 70, Y: float64(i/8) * 70})
+	}
+	m := NewModel(DefaultConfig(), sim.NewStreams(29), pos)
+	pool := sim.NewShardPool(4)
+	defer pool.Close()
+	m.EnableSharding(pool, -1)
+	others := []int{3, 11, 22}
+	m.BroadcastScan(0, others, time.Second) // warm: spawns workers, sizes buffers
+	for from := 0; from < n; from++ {
+		m.BroadcastScan(from, others, time.Second)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		m.BroadcastScan(5, others, 2*time.Second)
+	}); allocs != 0 {
+		t.Fatalf("steady-state BroadcastScan allocates %.1f/op, want 0", allocs)
+	}
+}

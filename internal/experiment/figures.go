@@ -17,6 +17,10 @@ type Options struct {
 	BaseSeed  int64
 	// Parallelism caps concurrent trials per cell; 0 means GOMAXPROCS.
 	Parallelism int
+	// Shards spreads each trial's broadcast geometry scans across spatial
+	// shards (see world.Config.Shards); 0 or 1 keeps trials serial.
+	// Parallelism spans trials, Shards works within one.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +71,7 @@ func Sweep(load float64, o Options) SweepResult {
 				Trials:       o.Trials,
 				BaseSeed:     o.BaseSeed,
 				Parallelism:  o.Parallelism,
+				Shards:       o.Shards,
 			})
 		}
 		out.Cells[p] = rows
@@ -155,6 +160,7 @@ func Quality(speedKmh, load float64, o Options) QualityResult {
 			Trials:       o.Trials,
 			BaseSeed:     o.BaseSeed,
 			Parallelism:  o.Parallelism,
+			Shards:       o.Shards,
 		})
 	}
 	return out
@@ -202,6 +208,7 @@ func Series(load, speedKmh float64, o Options) SeriesResult {
 			Trials:       o.Trials,
 			BaseSeed:     o.BaseSeed,
 			Parallelism:  o.Parallelism,
+			Shards:       o.Shards,
 		})
 	}
 	return out

@@ -1,0 +1,188 @@
+// Spatial sharding support: a stripe-of-columns partition of a Grid and
+// the column-clipped disk queries the sharded channel oracle fans out
+// (DESIGN.md §10). A stripe owns a contiguous run of grid columns, so
+// every indexed point belongs to exactly one stripe and the union of the
+// per-stripe clipped queries over any partition reproduces the unclipped
+// query exactly — membership, distances, and per-stripe ascending id
+// order all match NearDist bit-for-bit.
+package geom
+
+import "math"
+
+// ShardMap is an occupancy-balanced partition of a grid's columns into P
+// contiguous stripes. It is rebuilt whenever the grid is (the epoch
+// barrier of the sharded engine): column geometry, and therefore stripe
+// ownership, is stable for exactly as long as the build it was derived
+// from. The zero value is usable; Build sizes it.
+type ShardMap struct {
+	p  int
+	lo []int32 // len p+1: stripe s owns columns [lo[s], lo[s+1])
+
+	colCount []int32 // scratch: ids per column, reused across builds
+}
+
+// Build recomputes the partition for the grid's current build. Stripes
+// are cut greedily so each holds about 1/P of the indexed points —
+// columns, not points, are the unit of ownership, so a dense column is
+// never split. Grids with fewer columns than stripes leave the surplus
+// stripes empty.
+func (sm *ShardMap) Build(g *Grid, p int) {
+	if p < 1 {
+		p = 1
+	}
+	sm.p = p
+	if cap(sm.lo) < p+1 {
+		sm.lo = make([]int32, p+1)
+	} else {
+		sm.lo = sm.lo[:p+1]
+	}
+	cols := g.cols
+	if cols == 0 || len(g.pts) == 0 {
+		for i := range sm.lo {
+			sm.lo[i] = 0
+		}
+		return
+	}
+	if cap(sm.colCount) < cols {
+		sm.colCount = make([]int32, cols)
+	} else {
+		sm.colCount = sm.colCount[:cols]
+		for i := range sm.colCount {
+			sm.colCount[i] = 0
+		}
+	}
+	for cy := 0; cy < g.rows; cy++ {
+		row := cy * cols
+		for cx := 0; cx < cols; cx++ {
+			sm.colCount[cx] += g.start[row+cx+1] - g.start[row+cx]
+		}
+	}
+	remaining := int32(len(g.pts))
+	col := 0
+	sm.lo[0] = 0
+	for s := 0; s < p; s++ {
+		target := remaining / int32(p-s) // ceil-free: later stripes absorb slack
+		var acc int32
+		// Leave enough columns for the stripes still to come; emptiness is
+		// allowed only once the columns run out.
+		for col < cols && (acc < target || target == 0) && cols-col > p-s-1 {
+			acc += sm.colCount[col]
+			col++
+		}
+		remaining -= acc
+		sm.lo[s+1] = int32(col)
+	}
+	sm.lo[p] = int32(cols) // the last stripe owns every trailing column
+}
+
+// Shards reports the stripe count of the last Build.
+func (sm *ShardMap) Shards() int { return sm.p }
+
+// Owns reports the half-open column range [lo, hi) stripe s owns.
+func (sm *ShardMap) Owns(s int) (lo, hi int) {
+	return int(sm.lo[s]), int(sm.lo[s+1])
+}
+
+// Span reports the stripes whose columns intersect the column range
+// [c0, c1] as an inclusive stripe range. c0 > c1 (an empty column range)
+// yields sHi < sLo.
+func (sm *ShardMap) Span(c0, c1 int) (sLo, sHi int) {
+	if c0 > c1 {
+		return 0, -1
+	}
+	sLo, sHi = 0, sm.p-1
+	for s := 0; s < sm.p; s++ {
+		if int(sm.lo[s+1]) > c0 {
+			sLo = s
+			break
+		}
+	}
+	for s := sLo; s < sm.p; s++ {
+		if int(sm.lo[s+1]) > c1 {
+			sHi = s
+			break
+		}
+	}
+	return sLo, sHi
+}
+
+// ColSpan reports the clamped inclusive column range a disk query of
+// radius r around p touches — exactly the columns Near and NearDist scan
+// for the same disk. An empty grid yields (0, -1).
+func (g *Grid) ColSpan(p Point, r float64) (c0, c1 int) {
+	if len(g.pts) == 0 || r < 0 {
+		return 0, -1
+	}
+	c0 = g.clampCol(int(math.Floor((p.X - r - g.minX) / g.cell)))
+	c1 = g.clampCol(int(math.Floor((p.X + r - g.minX) / g.cell)))
+	return c0, c1
+}
+
+// CountRect reports how many indexed points are bucketed in the cell
+// block a disk query of radius r around p scans — a cheap deterministic
+// upper-bound work estimate for that query (bucket membership, not exact
+// distance, so it counts the block's corners too). Cells in one row are
+// contiguous in the counting-sort layout, so the count is two prefix
+// lookups per row.
+func (g *Grid) CountRect(p Point, r float64) int {
+	if len(g.pts) == 0 || r < 0 {
+		return 0
+	}
+	cx0, cx1 := g.ColSpan(p, r)
+	cy0 := g.clampRow(int(math.Floor((p.Y - r - g.minY) / g.cell)))
+	cy1 := g.clampRow(int(math.Floor((p.Y + r - g.minY) / g.cell)))
+	n := 0
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.cols
+		n += int(g.start[row+cx1+1] - g.start[row+cx0])
+	}
+	return n
+}
+
+// NearDistCols is NearDist restricted to the columns [colLo, colHi]: it
+// appends every indexed point within distance r of p whose bucket column
+// falls in that range, with its distance, in ascending id order. Over any
+// partition of the grid's columns the per-stripe results are disjoint and
+// their union is exactly NearDist's result — same membership, same
+// distances, bit-for-bit.
+func (g *Grid) NearDistCols(p Point, r float64, colLo, colHi int, dst []IDDist) []IDDist {
+	if len(g.pts) == 0 || r < 0 {
+		return dst
+	}
+	cx0, cx1 := g.ColSpan(p, r)
+	if colLo > cx0 {
+		cx0 = colLo
+	}
+	if colHi < cx1 {
+		cx1 = colHi
+	}
+	if cx0 > cx1 {
+		return dst
+	}
+	cy0 := g.clampRow(int(math.Floor((p.Y - r - g.minY) / g.cell)))
+	cy1 := g.clampRow(int(math.Floor((p.Y + r - g.minY) / g.cell)))
+
+	from := len(dst)
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.cols
+		for cx := cx0; cx <= cx1; cx++ {
+			k := row + cx
+			for _, id := range g.ids[g.start[k]:g.start[k+1]] {
+				if d := p.DistanceTo(g.pts[id]); d <= r {
+					dst = append(dst, IDDist{ID: id, D: d})
+				}
+			}
+		}
+	}
+	hits := dst[from:]
+	for i := 1; i < len(hits); i++ {
+		e := hits[i]
+		j := i - 1
+		for j >= 0 && hits[j].ID > e.ID {
+			hits[j+1] = hits[j]
+			j--
+		}
+		hits[j+1] = e
+	}
+	return dst
+}

@@ -1,0 +1,176 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randPts(rng *rand.Rand, n int, w, h float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+	}
+	return pts
+}
+
+// TestShardMapPartition checks the stripe map is a partition of the
+// columns: contiguous, monotone, covering [0, cols).
+func TestShardMapPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 17, 300} {
+		for _, p := range []int{1, 2, 3, 8, 64} {
+			g := NewGrid(50)
+			g.Rebuild(randPts(rng, n, 1000, 400))
+			var sm ShardMap
+			sm.Build(g, p)
+			if sm.Shards() != p {
+				t.Fatalf("n=%d p=%d: Shards()=%d", n, p, sm.Shards())
+			}
+			prev := 0
+			total := 0
+			for s := 0; s < p; s++ {
+				lo, hi := sm.Owns(s)
+				if lo != prev || hi < lo {
+					t.Fatalf("n=%d p=%d stripe %d: [%d,%d) after %d", n, p, s, lo, hi, prev)
+				}
+				prev = hi
+				total += hi - lo
+			}
+			if total != g.cols {
+				t.Fatalf("n=%d p=%d: stripes cover %d of %d columns", n, p, total, g.cols)
+			}
+		}
+	}
+}
+
+// TestShardMapBalance checks the greedy cut lands near 1/P occupancy on a
+// uniform field: no stripe should hold more than twice its fair share
+// (one dense column can overshoot, but uniform fields have none).
+func TestShardMapBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGrid(50)
+	g.Rebuild(randPts(rng, 2000, 1600, 400))
+	var sm ShardMap
+	for _, p := range []int{2, 4, 8} {
+		sm.Build(g, p)
+		for s := 0; s < p; s++ {
+			lo, hi := sm.Owns(s)
+			count := 0
+			for cy := 0; cy < g.rows; cy++ {
+				row := cy * g.cols
+				count += int(g.start[row+hi] - g.start[row+lo])
+			}
+			if fair := 2000 / p; count > 2*fair {
+				t.Errorf("p=%d stripe %d holds %d points (fair share %d)", p, s, count, fair)
+			}
+		}
+	}
+}
+
+// TestNearDistColsPartition checks that the union of column-clipped
+// queries over any stripe partition reproduces NearDist exactly —
+// membership, distances, and disjointness.
+func TestNearDistColsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := NewGrid(40)
+	g.Rebuild(randPts(rng, 400, 900, 300))
+	var sm ShardMap
+	for _, p := range []int{1, 2, 3, 8} {
+		sm.Build(g, p)
+		for trial := 0; trial < 200; trial++ {
+			q := Point{X: rng.Float64()*1100 - 100, Y: rng.Float64()*500 - 100}
+			r := rng.Float64() * 120
+			want := g.NearDist(q, r, nil)
+
+			got := make(map[int32]float64)
+			for s := 0; s < p; s++ {
+				lo, hi := sm.Owns(s)
+				if lo >= hi {
+					continue
+				}
+				for _, e := range g.NearDistCols(q, r, lo, hi-1, nil) {
+					if _, dup := got[e.ID]; dup {
+						t.Fatalf("p=%d: id %d returned by two stripes", p, e.ID)
+					}
+					got[e.ID] = e.D
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("p=%d r=%.1f: union has %d ids, NearDist %d", p, r, len(got), len(want))
+			}
+			for _, e := range want {
+				if d, ok := got[e.ID]; !ok || d != e.D {
+					t.Fatalf("p=%d id %d: clipped d=%v ok=%v, want %v", p, e.ID, d, ok, e.D)
+				}
+			}
+		}
+	}
+}
+
+// TestNearDistColsOrdered checks each clipped result is ascending by id,
+// like NearDist.
+func TestNearDistColsOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := NewGrid(40)
+	g.Rebuild(randPts(rng, 300, 600, 600))
+	for trial := 0; trial < 100; trial++ {
+		q := Point{X: rng.Float64() * 600, Y: rng.Float64() * 600}
+		hits := g.NearDistCols(q, 150, 3, 7, nil)
+		for i := 1; i < len(hits); i++ {
+			if hits[i-1].ID >= hits[i].ID {
+				t.Fatalf("ids not ascending: %d then %d", hits[i-1].ID, hits[i].ID)
+			}
+		}
+	}
+}
+
+// TestCountRectCoversNear checks the work estimate is a true upper bound
+// on the disk query's hit count and exact for block-aligned queries.
+func TestCountRectCoversNear(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := NewGrid(40)
+	g.Rebuild(randPts(rng, 500, 800, 800))
+	for trial := 0; trial < 200; trial++ {
+		q := Point{X: rng.Float64() * 800, Y: rng.Float64() * 800}
+		r := rng.Float64() * 130
+		if est, hits := g.CountRect(q, r), len(g.Near(q, r, nil)); est < hits {
+			t.Fatalf("CountRect=%d < %d actual hits (r=%.1f)", est, hits, r)
+		}
+	}
+	if got := g.CountRect(Point{X: 400, Y: 400}, 4000); got != 500 {
+		t.Fatalf("whole-grid CountRect = %d, want 500", got)
+	}
+}
+
+// TestShardSpan checks disk→stripe span resolution.
+func TestShardSpan(t *testing.T) {
+	g := NewGrid(10)
+	pts := make([]Point, 0, 80)
+	for c := 0; c < 8; c++ {
+		for k := 0; k < 10; k++ {
+			pts = append(pts, Point{X: float64(c)*10 + 5, Y: float64(k)})
+		}
+	}
+	g.Rebuild(pts)
+	var sm ShardMap
+	sm.Build(g, 4) // 8 uniform columns → 2 per stripe
+	for s := 0; s < 4; s++ {
+		if lo, hi := sm.Owns(s); lo != 2*s || hi != 2*s+2 {
+			t.Fatalf("stripe %d owns [%d,%d), want [%d,%d)", s, lo, hi, 2*s, 2*s+2)
+		}
+	}
+	cases := []struct {
+		c0, c1   int
+		sLo, sHi int
+	}{
+		{0, 0, 0, 0}, {0, 7, 0, 3}, {2, 3, 1, 1}, {3, 4, 1, 2}, {1, 6, 0, 3}, {7, 7, 3, 3},
+	}
+	for _, c := range cases {
+		if sLo, sHi := sm.Span(c.c0, c.c1); sLo != c.sLo || sHi != c.sHi {
+			t.Fatalf("Span(%d,%d) = (%d,%d), want (%d,%d)", c.c0, c.c1, sLo, sHi, c.sLo, c.sHi)
+		}
+	}
+	if sLo, sHi := sm.Span(3, 2); sHi >= sLo {
+		t.Fatalf("empty span not signalled: (%d,%d)", sLo, sHi)
+	}
+}

@@ -1,0 +1,121 @@
+// ShardPool: the fork-join barrier the sharded channel oracle runs on
+// (DESIGN.md §10). One pool serves one world; the simulation goroutine is
+// worker 0, so a P-shard pool spawns P−1 goroutines, started lazily on
+// the first fan-out and parked on their wake channels between epochs.
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rica/internal/obs"
+)
+
+// ShardPool executes one work function across P shards with a full
+// barrier per Fanout: every shard's call returns before Fanout does, and
+// the channel/WaitGroup pair carries the happens-before edges that make
+// the caller's pre-fan-out writes visible to workers and all worker
+// writes visible to the caller afterwards. Steady-state fan-outs are
+// allocation-free.
+//
+// The pool is not itself deterministic work — it is a transport. The
+// sharded oracle keeps runs bit-identical by construction (owner-computes
+// writes, serial merge); the pool only guarantees the barrier.
+type ShardPool struct {
+	n       int
+	work    func(shard int)
+	wake    []chan struct{}
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
+}
+
+// Process-global wall-clock accounting, mirroring the packet pool's
+// stats: barrier stalls are scheduling noise, not simulation state, so
+// they live here and never enter a per-run deterministic export.
+var (
+	shardFanouts atomic.Uint64
+	shardStallNs atomic.Uint64
+)
+
+// ShardStatsNow snapshots the process-wide sharded-engine accounting:
+// total fan-outs and the wall time callers spent blocked at the barrier
+// after finishing their own shard.
+func ShardStatsNow() obs.ShardStats {
+	return obs.ShardStats{
+		Fanouts: shardFanouts.Load(),
+		StallNs: shardStallNs.Load(),
+	}
+}
+
+// NewShardPool builds a pool for n shards (minimum 1). No goroutines
+// start until the first Fanout, so building a world with sharding enabled
+// and never running it leaks nothing.
+func NewShardPool(n int) *ShardPool {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardPool{n: n}
+}
+
+// Shards reports the pool's shard count.
+func (p *ShardPool) Shards() int { return p.n }
+
+// SetWork installs the per-shard work function. Call it before the first
+// Fanout and never during one.
+func (p *ShardPool) SetWork(fn func(shard int)) { p.work = fn }
+
+// Fanout runs work(s) for every shard s and returns once all have
+// finished. The caller runs shard 0 itself, so a 1-shard pool is a plain
+// call.
+func (p *ShardPool) Fanout() {
+	if p.n == 1 {
+		p.work(0)
+		return
+	}
+	if !p.started {
+		p.start()
+	}
+	p.wg.Add(p.n - 1)
+	for _, ch := range p.wake {
+		ch <- struct{}{}
+	}
+	p.work(0)
+	wait := time.Now()
+	p.wg.Wait()
+	shardStallNs.Add(uint64(time.Since(wait)))
+	shardFanouts.Add(1)
+}
+
+// start spawns the P−1 worker goroutines, each parked on its own
+// buffered wake channel so Fanout's signal never blocks on wake-up.
+func (p *ShardPool) start() {
+	p.wake = make([]chan struct{}, p.n-1)
+	for i := range p.wake {
+		ch := make(chan struct{}, 1)
+		p.wake[i] = ch
+		shard := i + 1
+		go func() {
+			for range ch {
+				p.work(shard)
+				p.wg.Done()
+			}
+		}()
+	}
+	p.started = true
+}
+
+// Close stops the worker goroutines. Idempotent, nil-safe, and safe on a
+// pool that never fanned out. The pool must not be used after Close.
+func (p *ShardPool) Close() {
+	if p == nil || p.closed {
+		return
+	}
+	p.closed = true
+	if p.started {
+		for _, ch := range p.wake {
+			close(ch)
+		}
+	}
+}

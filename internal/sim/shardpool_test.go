@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+// TestShardPoolRunsEveryShard checks each shard index runs exactly once
+// per fan-out and the barrier holds (all writes visible afterwards).
+func TestShardPoolRunsEveryShard(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		p := NewShardPool(n)
+		hits := make([]int, n)
+		p.SetWork(func(shard int) { hits[shard]++ })
+		const rounds = 50
+		for r := 0; r < rounds; r++ {
+			p.Fanout()
+		}
+		p.Close()
+		for s, h := range hits {
+			if h != rounds {
+				t.Fatalf("n=%d shard %d ran %d times, want %d", n, s, h, rounds)
+			}
+		}
+	}
+}
+
+// TestShardPoolSingleShardInline checks a 1-shard pool is a plain call:
+// no goroutines ever start, so the serial configuration cannot differ
+// from not having a pool at all.
+func TestShardPoolSingleShardInline(t *testing.T) {
+	p := NewShardPool(1)
+	defer p.Close()
+	ran := false
+	p.SetWork(func(shard int) { ran = shard == 0 })
+	p.Fanout()
+	if !ran {
+		t.Fatal("shard 0 did not run")
+	}
+	if p.started {
+		t.Fatal("1-shard pool spawned workers")
+	}
+}
+
+// TestShardPoolFanoutAllocFree pins the per-epoch allocation budget at
+// zero: a steady-state fan-out must not allocate.
+func TestShardPoolFanoutAllocFree(t *testing.T) {
+	p := NewShardPool(4)
+	defer p.Close()
+	var sink [4]uint64
+	p.SetWork(func(shard int) { sink[shard]++ })
+	p.Fanout() // warm: spawns the workers
+	if allocs := testing.AllocsPerRun(100, p.Fanout); allocs != 0 {
+		t.Fatalf("Fanout allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestShardPoolCloseIdempotent checks Close is safe twice, nil-safe, and
+// safe without any fan-out.
+func TestShardPoolCloseIdempotent(t *testing.T) {
+	p := NewShardPool(3)
+	p.Close()
+	p.Close()
+	var nilPool *ShardPool
+	nilPool.Close()
+}
+
+// TestShardStatsAdvance checks the process-global accounting moves.
+func TestShardStatsAdvance(t *testing.T) {
+	before := ShardStatsNow()
+	p := NewShardPool(2)
+	defer p.Close()
+	p.SetWork(func(int) {})
+	p.Fanout()
+	if after := ShardStatsNow(); after.Fanouts <= before.Fanouts {
+		t.Fatalf("fanouts did not advance: %d -> %d", before.Fanouts, after.Fanouts)
+	}
+}

@@ -1,0 +1,114 @@
+package world_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rica/internal/experiment"
+	"rica/internal/metrics"
+	"rica/internal/scenario"
+	"rica/internal/world"
+)
+
+// shardTrim caps scenario horizons so the catalog sweep stays CI-sized:
+// long enough for floods, collisions, outages, and route churn to all
+// occur; short enough to run the full grid under -race.
+func shardTrim(d time.Duration) time.Duration {
+	const cap = 6 * time.Second
+	if d > cap {
+		return cap
+	}
+	return d
+}
+
+// runScenario executes one compiled scenario at the given shard count.
+// ShardGrain −1 forces every broadcast completion through the fan-out
+// path, so the identity check exercises the sharded engine rather than
+// the grain gate's serial fallback.
+func runScenario(t *testing.T, spec scenario.Spec, protocol experiment.Protocol, shards int) metrics.Summary {
+	t.Helper()
+	cfg, err := spec.Compile()
+	if err != nil {
+		t.Fatalf("compile %s: %v", spec.Name, err)
+	}
+	cfg.Duration = shardTrim(cfg.Duration)
+	cfg.Seed = 7
+	cfg.Shards = shards
+	if shards > 1 {
+		cfg.ShardGrain = -1
+	}
+	s := world.New(cfg, experiment.Factory(protocol, spec.Traffic.Rate)).Run()
+	s.Obs = nil // cache hit/miss counters legitimately differ across shard counts
+	return s
+}
+
+// TestShardedSimulationBitIdentical runs the full scenario catalog
+// serial and sharded at 2, 3, and 8 shards and requires byte-identical
+// summaries. This is the engine's core contract: shard count changes
+// wall-clock time, never results — every RNG draw, collision verdict,
+// and delivery must survive the decomposition untouched.
+func TestShardedSimulationBitIdentical(t *testing.T) {
+	names := scenario.Names()
+	if testing.Short() {
+		names = names[:3] // keep -short (and the race sweep) quick
+	}
+	for _, name := range names {
+		spec, err := scenario.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			want := fmt.Sprintf("%+v", runScenario(t, spec, experiment.RICA, 1))
+			for _, shards := range []int{2, 3, 8} {
+				got := fmt.Sprintf("%+v", runScenario(t, spec, experiment.RICA, shards))
+				if got != want {
+					t.Errorf("shards=%d diverged from serial\n got: %s\nwant: %s", shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedOutageMidEpochBitIdentical pins the ISSUE's epoch edge
+// case: an outage window opening and closing between grid rebuilds (the
+// epoch barrier) must produce identical results serial and sharded —
+// the down flag is consulted per query, not per epoch, so a terminal
+// silenced mid-epoch disappears from scans at the same instant on both
+// paths.
+func TestShardedOutageMidEpochBitIdentical(t *testing.T) {
+	spec, err := scenario.ByName("paper-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(shards int) string {
+		cfg, err := spec.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Duration = shardTrim(time.Duration(spec.Duration))
+		cfg.Seed = 11
+		// Windows with sub-second, non-aligned edges so they open and
+		// close between rebuilds, plus overlapping pairs.
+		for i := 0; i < 12; i++ {
+			from := time.Duration(i)*380*time.Millisecond + 137*time.Millisecond
+			cfg.Outages = append(cfg.Outages, world.Outage{
+				Node: (i * 7) % 50, From: from, Until: from + 730*time.Millisecond,
+			})
+		}
+		cfg.Shards = shards
+		if shards > 1 {
+			cfg.ShardGrain = -1
+		}
+		s := world.New(cfg, experiment.Factory(experiment.RICA, spec.Traffic.Rate)).Run()
+		s.Obs = nil
+		return fmt.Sprintf("%+v", s)
+	}
+	want := run(1)
+	for _, shards := range []int{2, 8} {
+		if got := run(shards); got != want {
+			t.Errorf("shards=%d diverged under mid-epoch outages\n got: %s\nwant: %s", shards, got, want)
+		}
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"rica/internal/obs"
 	"rica/internal/packet"
 	"rica/internal/scenario"
+	"rica/internal/sim"
 	"rica/internal/timeseries"
 	"rica/internal/trace"
 	"rica/internal/traffic"
@@ -120,6 +121,13 @@ type SimConfig struct {
 	// private registry and the end-of-run snapshot still lands on
 	// Summary.Obs.
 	Obs *ObsRegistry
+	// Shards, when ≥ 2, spreads the run's broadcast geometry scans across
+	// that many spatial shards on a worker pool (clamped to the terminal
+	// count); 0 or 1 keeps the run fully serial. The Summary is
+	// bit-identical for every value — sharding trades wall-clock time
+	// only, never results (see DESIGN.md §10). This parallelizes inside
+	// one run; BatchConfig.Workers parallelizes across runs.
+	Shards int
 }
 
 // Telemetry configures per-interval timeline collection for one run.
@@ -213,6 +221,7 @@ func simulate(cfg SimConfig, rec *trace.Recorder) (Summary, Timeline, *trace.Rec
 	}
 	wcfg.Trace = rec
 	wcfg.Obs = cfg.Obs
+	wcfg.Shards = cfg.Shards
 	if cfg.Telemetry != nil {
 		if cfg.Telemetry.Streaming {
 			wcfg.Timeseries = timeseries.NewStreamingCollector(cfg.Telemetry.Interval, wcfg.Duration)
@@ -345,10 +354,11 @@ func RunBatch(cfg BatchConfig) (BatchResult, error) { return batch.Run(cfg) }
 // live JSON/Prometheus surfaces; ObsPoolStats is the process-global
 // pooled-packet accounting.
 type (
-	ObsRegistry  = obs.Registry
-	ObsSnapshot  = obs.Snapshot
-	ObsHub       = obs.Hub
-	ObsPoolStats = obs.PoolStats
+	ObsRegistry   = obs.Registry
+	ObsSnapshot   = obs.Snapshot
+	ObsHub        = obs.Hub
+	ObsPoolStats  = obs.PoolStats
+	ObsShardStats = obs.ShardStats
 )
 
 // NewObsRegistry builds an empty observability registry to pass as
@@ -369,3 +379,11 @@ func PoolStats() ObsPoolStats {
 	gets, releases, live, high := packet.PoolStats()
 	return ObsPoolStats{Gets: gets, Releases: releases, Live: live, HighWater: high}
 }
+
+// ShardStats reports the process-global sharded-engine accounting: total
+// epoch-barrier fan-outs and the wall time callers spent stalled at the
+// barrier after finishing their own shard. Wall time is scheduling
+// noise, so like PoolStats this belongs on live surfaces only, never in
+// per-cell deterministic exports (the deterministic per-run shard
+// counters live in Summary.Obs). Wire it as ObsHub.ShardFunc.
+func ShardStats() ObsShardStats { return sim.ShardStatsNow() }

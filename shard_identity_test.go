@@ -1,0 +1,71 @@
+package rica_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rica"
+)
+
+// TestShardedGoldenBitIdentical re-validates the pre-refactor golden
+// fingerprint table with the sharded engine enabled: the multicore path
+// must reproduce the exact event sequence recorded before it existed.
+// Combined with TestGoldenBitIdentical (serial) this pins both engine
+// configurations to the same oracle.
+func TestShardedGoldenBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("15 × 10 s simulations")
+	}
+	t.Parallel()
+	for _, p := range rica.AllProtocols() {
+		for seed := int64(1); seed <= 3; seed++ {
+			p, seed := p, seed
+			name := fmt.Sprintf("%s/%d", p, seed)
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				want, ok := golden[name]
+				if !ok {
+					t.Fatalf("no golden fingerprint recorded for %s", name)
+				}
+				cfg := rica.SimConfig{
+					Protocol:     p,
+					MeanSpeedKmh: 36,
+					Rate:         10,
+					Duration:     goldenDuration,
+					Seed:         seed,
+					Shards:       2,
+				}
+				if got := fingerprint(rica.Simulate(cfg)); got != want {
+					t.Errorf("sharded summary diverged from golden\n got: %s\nwant: %s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedSimulateBitIdentical compares Simulate's fingerprint across
+// shard counts on a fresh configuration (different speed/load/seed than
+// the goldens), so the equivalence is not an artifact of one recorded
+// grid point.
+func TestShardedSimulateBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4 × 10 s simulations")
+	}
+	t.Parallel()
+	run := func(shards int) string {
+		return fingerprint(rica.Simulate(rica.SimConfig{
+			Protocol:     rica.ProtocolRICA,
+			MeanSpeedKmh: 54,
+			Rate:         20,
+			Duration:     goldenDuration,
+			Seed:         5,
+			Shards:       shards,
+		}))
+	}
+	want := run(1)
+	for _, shards := range []int{2, 3, 8} {
+		if got := run(shards); got != want {
+			t.Errorf("shards=%d diverged from serial\n got: %s\nwant: %s", shards, got, want)
+		}
+	}
+}
