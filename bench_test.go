@@ -300,6 +300,63 @@ func BenchmarkShardedThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkGossipThroughput measures the epidemic workload: gossip-200
+// (200 terminals, push-rumor traffic where every delivery mints a new
+// sender) under RICA at a truncated horizon. This is the flood-heaviest
+// traffic shape the engine runs; the allocs/op budget in
+// scripts/alloc_budget.txt guards the per-push path against creeping
+// allocations.
+func BenchmarkGossipThroughput(b *testing.B) {
+	spec, err := rica.ScenarioByName("gossip-200")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var events uint64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		s, err := rica.SimulateScenario(rica.ScenarioRun{
+			Scenario: spec, Protocol: rica.ProtocolRICA,
+			Seed: int64(i + 1), MaxDuration: 5 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += s.Events
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+}
+
+// BenchmarkJammerThroughput measures the interference workload: the
+// jammer-grid scenario (two CSMA-oblivious noise sources inside a
+// static lattice) under RICA. Jam bursts ride the common-channel airtime
+// path without the data-plane lifecycle, so the budget in
+// scripts/alloc_budget.txt pins the burst scheduling loop specifically.
+func BenchmarkJammerThroughput(b *testing.B) {
+	spec, err := rica.ScenarioByName("jammer-grid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var events uint64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		s, err := rica.SimulateScenario(rica.ScenarioRun{
+			Scenario: spec, Protocol: rica.ProtocolRICA,
+			Seed: int64(i + 1), MaxDuration: 10 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += s.Events
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+}
+
 // BenchmarkAblationAdaptiveCheck compares the fixed 1 s checking period
 // against the volatility-adaptive one (the paper's aside that the period
 // should follow "the change speed of the link CSI").

@@ -110,6 +110,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	rep := buildReport(base, post)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, rep.Summary)
+}
+
+// buildReport computes the full delta report for two bench records.
+func buildReport(base, post benchRecord) report {
 	postBy := make(map[string]benchLine, len(post.Benchmarks))
 	for _, b := range post.Benchmarks {
 		postBy[b.Name] = b
@@ -161,14 +173,7 @@ func main() {
 		}
 	}
 	rep.Summary = summary
-
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintln(os.Stderr, summary)
+	return rep
 }
 
 // diffScaling pairs the two records' core-scaling sweeps by shard count.

@@ -48,6 +48,7 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "max concurrent trials — whole runs side by side (0 = GOMAXPROCS)")
 		shards      = flag.Int("shards", 1, "spatial shards inside each run: broadcast geometry fans out across this many cores (0 = GOMAXPROCS, 1 = serial); results are bit-identical for every value, unlike -parallelism this speeds up a single run")
 		scenarios   = flag.String("scenario", "", "run a batch over comma-separated scenario names and/or JSON spec files")
+		verify      = flag.Bool("verify", false, "run each -scenario cell under the invariant harness (conservation, ledger agreement, replay determinism, zero leak) instead of the batch engine; exits 1 on any violation")
 		list        = flag.Bool("list-scenarios", false, "print the built-in scenario catalog and exit")
 		out         = flag.String("out", "", "write batch results to this file (.json or .csv; default stdout)")
 		timeline    = flag.String("timeline", "", "write per-interval telemetry for every batch cell to this file (.csv for CSV, anything else for JSONL)")
@@ -161,9 +162,20 @@ func main() {
 		listScenarios()
 		return
 	}
+	if *verify && *scenarios == "" {
+		fatalf("-verify needs -scenario cells to check")
+	}
 	if *scenarios != "" {
 		if flagSet("figure") {
 			fatalf("-figure and -scenario are mutually exclusive")
+		}
+		if *verify {
+			var maxDur time.Duration
+			if flagSet("duration") {
+				maxDur = *duration
+			}
+			runVerify(*scenarios, *protocols, *seed, *shards, maxDur)
+			return
 		}
 		runBatch(*scenarios, *protocols, *trials, *seed, *parallelism, *shards,
 			*duration, *format, *out, *timeline, *interval, *streaming, hub)
@@ -299,6 +311,51 @@ func listScenarios() {
 		}
 		fmt.Printf("%-16s%7d%10s  %s\n",
 			s.Name, s.Topology.NodeCount(), time.Duration(s.Duration), s.Description)
+	}
+}
+
+// runVerify puts every scenario × protocol cell through the invariant
+// harness, one at a time (the pooled-packet leak check needs the process
+// to itself). Each cell simulates twice: once for the ledger checks,
+// once to prove replay determinism.
+func runVerify(list, protocols string, seed int64, shards int, maxDur time.Duration) {
+	protos := parseProtocols(protocols)
+	if protos == nil {
+		protos = rica.AllProtocols()
+	}
+	failed := false
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		var (
+			spec rica.Scenario
+			err  error
+		)
+		if strings.HasSuffix(part, ".json") {
+			spec, err = rica.LoadScenario(part)
+		} else {
+			spec, err = rica.ScenarioByName(part)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, p := range protos {
+			s, err := rica.VerifyScenario(rica.ScenarioRun{
+				Scenario: spec, Protocol: p, Seed: seed,
+				Shards: shards, MaxDuration: maxDur,
+			})
+			meter.events += 2 * s.Events // the harness runs each cell twice
+			if err != nil {
+				failed = true
+				fmt.Printf("FAIL  %s/%s: %v\n", spec.Name, p, err)
+				continue
+			}
+			fmt.Printf("ok    %s/%s gen=%d del=%d events=%d\n",
+				spec.Name, p, s.Generated, s.Delivered, s.Events)
+		}
+	}
+	if failed {
+		runExitHooks()
+		os.Exit(1)
 	}
 }
 

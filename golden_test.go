@@ -2,13 +2,10 @@ package rica_test
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 	"testing"
 	"time"
 
 	"rica"
-	"rica/internal/network"
 )
 
 // goldenDuration keeps the 15-run grid fast enough for CI while long
@@ -40,31 +37,11 @@ var golden = map[string]string{
 	"LinkState/3": "gen=1014 del=928 drop[congestion]=17 drop[link-break]=29 delay=233634023 ratio=0x1.d49370997fbf6p-01 ovh=0x1.c9e0ccccccccdp+19 ctl=12434 ctldrop=1985 lt=0x1.723c07269d518p+17 hops=0x1.28469ee58469fp+02 csi=0x1.f2f786884c472p+02 hopsall=0x1.1fcd8932fd5f2p+02 csiall=0x1.e56a14655943fp+02 maxhops=35 p50=149081864 p99=1251172725 max=1653589015 goodput=0x1.7333333333333p+18",
 }
 
-// fingerprint renders a Summary into an exact, platform-independent
-// string: integers verbatim, floats in hex notation (%x) so equality
-// means bit-equality, durations in nanoseconds.
-func fingerprint(s rica.Summary) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "gen=%d del=%d", s.Generated, s.Delivered)
-	reasons := make([]network.DropReason, 0, len(s.Dropped))
-	for r := range s.Dropped {
-		reasons = append(reasons, r)
-	}
-	sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
-	for _, r := range reasons {
-		fmt.Fprintf(&b, " drop[%s]=%d", r, s.Dropped[r])
-	}
-	fmt.Fprintf(&b, " delay=%d ratio=%x ovh=%x ctl=%d ctldrop=%d",
-		s.AvgDelay.Nanoseconds(), s.DeliveryRatio, s.OverheadBps,
-		s.ControlPackets, s.ControlDropped)
-	fmt.Fprintf(&b, " lt=%x hops=%x csi=%x hopsall=%x csiall=%x maxhops=%d",
-		s.AvgLinkThroughputBps, s.AvgHops, s.AvgCSIHops,
-		s.AvgHopsAll, s.AvgCSIHopsAll, s.MaxHops)
-	fmt.Fprintf(&b, " p50=%d p99=%d max=%d goodput=%x",
-		s.Delay.P50.Nanoseconds(), s.Delay.P99.Nanoseconds(),
-		s.Delay.Max.Nanoseconds(), s.GoodputBps)
-	return b.String()
-}
+// fingerprint is rica.Fingerprint: an exact, platform-independent
+// rendering (integers verbatim, floats in hex notation so equality means
+// bit-equality, durations in nanoseconds). The recorded goldens above
+// are outputs of that public format.
+func fingerprint(s rica.Summary) string { return rica.Fingerprint(s) }
 
 func goldenRun(p rica.Protocol, seed int64) rica.Summary {
 	return rica.Simulate(rica.SimConfig{

@@ -78,11 +78,14 @@ type BroadcastScanner interface {
 // receiver gets its own clone, so handlers may mutate the packet freely.
 type ReceiveFunc func(pkt *packet.Packet, now time.Duration)
 
-// transmission is one on-air control packet.
+// transmission is one on-air control packet. jam marks an adversarial
+// noise burst: it occupies the air (carrier sense and collisions see it)
+// but is never delivered to any handler.
 type transmission struct {
 	from       int
 	start, end time.Duration
 	pkt        *packet.Packet
+	jam        bool
 }
 
 // CommonChannel is the shared CSMA/CA signalling channel.
@@ -248,6 +251,29 @@ func (c *CommonChannel) attempt(pkt *packet.Packet, tries int) {
 	c.kernel.ScheduleArg(airtime, c.completeFn, c.txSlot(tx), 0)
 }
 
+// Jam puts pkt on the air immediately — no carrier sense, no backoff, no
+// retries — and never delivers it to anyone: the transmission exists
+// purely as interference. While it is on air, honest senders within
+// range hear a busy channel and defer, and any legitimate completion it
+// overlaps is destroyed at receivers the jammer reaches — the standard
+// always-on jammer stressing unslotted CSMA/CA. The burst deliberately
+// skips OnTransmit (it is not routing overhead; the victims' metrics
+// must stay attributable to the victims) and is counted in the registry
+// instead. Jam takes ownership of pkt, releasing it when the burst
+// leaves the air.
+func (c *CommonChannel) Jam(pkt *packet.Packet) {
+	now := c.kernel.Now()
+	airtime := time.Duration(float64(pkt.Size*8) / commonBitrate * float64(time.Second))
+	if airtime > c.maxAir {
+		c.maxAir = airtime
+	}
+	tx := c.allocTx()
+	tx.from, tx.start, tx.end, tx.pkt, tx.jam = pkt.From, now, now+airtime, pkt, true
+	c.active = append(c.active, tx)
+	c.obs.Inc(obs.CJamTransmitted)
+	c.kernel.ScheduleArg(airtime, c.completeFn, c.txSlot(tx), 0)
+}
+
 // retrySlot resumes a backed-off attempt (the ScheduleArg fast path).
 func (c *CommonChannel) retrySlot(_ time.Duration, slot, tries int) {
 	pkt := c.deferred[slot]
@@ -362,6 +388,15 @@ func (c *CommonChannel) senseBusy(from int, now time.Duration) bool {
 // sender's neighbourhood (an O(density) grid query) instead of the whole
 // terminal set; unicasts test the single target directly.
 func (c *CommonChannel) complete(tx *transmission, now time.Duration) {
+	if tx.jam {
+		// A jam carries nothing deliverable; its whole effect — the busy
+		// carrier honest senders deferred to, the collisions it inflicted
+		// on overlapping completions — has already happened.
+		tx.pkt.Release()
+		tx.pkt = nil
+		c.prune(now)
+		return
+	}
 	if to := tx.pkt.To; to != packet.Broadcast {
 		if to != tx.from && to >= 0 && to < len(c.handlers) && c.handlers[to] != nil &&
 			c.model.InRange(tx.from, to, now) {
@@ -432,6 +467,15 @@ func (c *CommonChannel) shardScan(tx *transmission, now time.Duration) *channel.
 	for _, other := range c.active {
 		if other == tx || other.start >= tx.end || other.end <= tx.start {
 			continue
+		}
+		if other.from == tx.from {
+			// The sender's own radio carried a second burst over this
+			// completion — only a jammer gets here (honest sends defer to
+			// their own carrier) — and Interferes(i, i) makes the serial
+			// verdict a full wipe: the jam reaches every receiver the
+			// sender does. The scanner's centre set excludes the sender,
+			// so decline the fan-out and let the serial branch rule.
+			return nil
 		}
 		c.cbuf = append(c.cbuf, other.from)
 	}

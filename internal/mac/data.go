@@ -79,6 +79,10 @@ type exchange struct {
 	pkt      *packet.Packet
 	done     func(SendResult)
 	class    channel.Class
+	// handed flips when the receiver takes delivery: from then until the
+	// ACK airtime closes the exchange, the sender's queue head is a stale
+	// reference to a packet the receiver now owns (see EachHandedOff).
+	handed bool
 }
 
 // Register installs the data delivery handler for terminal id.
@@ -169,6 +173,7 @@ func (d *DataPlane) arrive(arrival time.Duration, slot, _ int) {
 	x.pkt.TraversedHops++
 	x.pkt.TraversedBps += x.class.ThroughputBps()
 	x.pkt.TraversedCSI += x.class.HopDistance()
+	x.handed = true
 	if h := d.handlers[x.to]; h != nil {
 		h(x.pkt, arrival)
 	}
@@ -192,6 +197,20 @@ func (d *DataPlane) finish(x *exchange, slot int, res SendResult) {
 	*x = exchange{}
 	d.xfree = append(d.xfree, x)
 	done(res)
+}
+
+// EachHandedOff reports every in-flight exchange whose packet the
+// receiver has already taken delivery of (the exchange is inside its ACK
+// airtime). When a run's horizon lands in that window, the sender's link
+// queue still holds a stale head reference to a packet it no longer
+// owns; the end-of-run drain must discard those references instead of
+// releasing them, or the pool sees a double free.
+func (d *DataPlane) EachHandedOff(fn func(from, to int)) {
+	for _, x := range d.x {
+		if x != nil && x.handed {
+			fn(x.from, x.to)
+		}
+	}
 }
 
 // allocX recycles or allocates an exchange record.

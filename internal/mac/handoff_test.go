@@ -1,0 +1,57 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"rica/internal/packet"
+)
+
+// TestEachHandedOffBracketsAckWindow pins the ownership gap the
+// end-of-run drain must respect: between the receiver taking delivery
+// and the ACK airtime closing the exchange, EachHandedOff reports the
+// link — and outside that window it reports nothing. A run whose horizon
+// lands inside the window would otherwise drain the sender's stale queue
+// head and double-free the packet the receiver already owns.
+func TestEachHandedOffBracketsAckWindow(t *testing.T) {
+	k, m := testSetup(fixedPos{X: 0, Y: 0}, fixedPos{X: 100, Y: 0})
+	d := NewDataPlane(k, m)
+
+	pkt := packet.Get()
+	pkt.Type = packet.TypeData
+	pkt.Src, pkt.Dst = 0, 1
+	pkt.From, pkt.To = 0, 1
+	pkt.Size = 512
+
+	handed := func() (links [][2]int) {
+		d.EachHandedOff(func(from, to int) { links = append(links, [2]int{from, to}) })
+		return
+	}
+
+	if got := handed(); len(got) != 0 {
+		t.Fatalf("idle plane reports handed-off exchanges: %v", got)
+	}
+	var atDelivery [][2]int
+	d.Register(1, func(*packet.Packet, time.Duration) { atDelivery = handed() })
+	completed := false
+	d.Send(0, 1, pkt, func(res SendResult) {
+		completed = true
+		if !res.OK {
+			t.Errorf("in-range send failed: %+v", res)
+		}
+		if got := handed(); len(got) != 0 {
+			t.Errorf("closed exchange still reported handed off: %v", got)
+		}
+	})
+	if got := handed(); len(got) != 0 {
+		t.Fatalf("exchange reported handed off before the packet arrived: %v", got)
+	}
+	k.Run(time.Second)
+	if !completed {
+		t.Fatal("exchange never completed")
+	}
+	if len(atDelivery) != 1 || atDelivery[0] != [2]int{0, 1} {
+		t.Errorf("at delivery handed-off = %v, want [[0 1]]", atDelivery)
+	}
+	pkt.Release()
+}

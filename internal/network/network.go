@@ -26,6 +26,7 @@ const (
 	DropExpired                          // exceeded 3 s buffer residency
 	DropNoRoute                          // routing gave up finding a route
 	DropLinkBreak                        // transmission failed, not repaired
+	DropAdversary                        // discarded by a byzantine transit terminal
 )
 
 var dropNames = map[DropReason]string{
@@ -33,6 +34,7 @@ var dropNames = map[DropReason]string{
 	DropExpired:    "expired",
 	DropNoRoute:    "no-route",
 	DropLinkBreak:  "link-break",
+	DropAdversary:  "adversary",
 }
 
 // String names the reason for reports.
@@ -105,10 +107,13 @@ type Agent interface {
 // silently release them once the simulation horizon has passed, so the
 // pool's leak accounting comes out exact. DrainPending must not record
 // drops or send anything — the run is over — and returns how many
-// packets were released. Node.Drain discovers it by type assertion, the
-// same pattern as RouteRecorder.
+// packets were released, split into end-to-end data packets and
+// control/relay packets: the data count is the invariant harness's
+// "in flight at the horizon" term in the packet-conservation check
+// (generated == delivered + dropped + data drained). Node.Drain
+// discovers it by type assertion, the same pattern as RouteRecorder.
 type Drainer interface {
-	DrainPending() int
+	DrainPending() (data, control int)
 }
 
 // Env is the service surface a Node exposes to its Agent.

@@ -47,6 +47,16 @@ type Node struct {
 
 	queues   []*linkQueue // per-neighbour link queues, dense by terminal id
 	drainBuf []queued     // reusable scratch for linkFailed backlog re-presentation
+
+	adv *adversary // nil on honest terminals
+}
+
+// adversary is a terminal's byzantine drop behaviour: transit data (never
+// locally destined or locally originated packets) is silently discarded
+// with probability prob during [from, until).
+type adversary struct {
+	prob        float64
+	from, until time.Duration
 }
 
 var _ Env = (*Node)(nil)
@@ -86,6 +96,18 @@ func (nd *Node) SetAgent(a Agent) { nd.agent = a }
 // Agent returns the attached routing agent (diagnostics, tests).
 func (nd *Node) Agent() Agent { return nd.agent }
 
+// SetAdversary turns the terminal into a selective transit dropper:
+// during [from, until) every data packet it would forward for someone
+// else is instead discarded with probability prob, recorded under
+// DropAdversary. The terminal keeps routing honestly — queries are
+// answered, routes advertised — which is exactly what makes the loss
+// hard for the protocols to attribute. The drop draw uses the node's
+// own RNG stream, so honest terminals consume no extra randomness and
+// benign runs stay bit-identical.
+func (nd *Node) SetAdversary(prob float64, from, until time.Duration) {
+	nd.adv = &adversary{prob: prob, from: from, until: until}
+}
+
 // Obs returns the run's observability registry (nil when none was
 // configured). Routing packages discover it by type-asserting their Env
 // against this method, the same way TableObserver is discovered.
@@ -95,9 +117,11 @@ func (nd *Node) Obs() *obs.Registry { return nd.cfg.Obs }
 // queues and forwards to the agent's DrainPending when it has one. No
 // recorder callbacks run — the world layer calls this after the
 // simulation horizon, where recording drops would perturb the metrics.
-// It returns how many packets were let go.
-func (nd *Node) Drain() int {
-	n := 0
+// It returns how many packets were let go, split into end-to-end data
+// packets (link-queue backlog plus the agent's parked data — the packets
+// "in flight at the horizon" for conservation accounting) and
+// control/relay packets.
+func (nd *Node) Drain() (data, control int) {
 	for _, q := range nd.queues {
 		if q == nil {
 			continue
@@ -108,14 +132,29 @@ func (nd *Node) Drain() int {
 				break
 			}
 			e.pkt.Release()
-			n++
+			data++
 		}
 		q.busy = false
 	}
 	if d, ok := nd.agent.(Drainer); ok {
-		n += d.DrainPending()
+		dd, cc := d.DrainPending()
+		data += dd
+		control += cc
 	}
-	return n
+	return data, control
+}
+
+// DiscardStaleHead forgets the busy head packet queued toward next
+// without releasing it. The data plane hands a packet to its receiver
+// before the closing per-hop ACK airs; a run ending inside that window
+// leaves this queue's head pointing at a packet the next terminal now
+// owns, so the end-of-run drain must not count or release it here (the
+// world consults mac.DataPlane.EachHandedOff and calls this first).
+func (nd *Node) DiscardStaleHead(next int) {
+	if q := nd.queues[next]; q != nil && q.busy {
+		q.pop()
+		q.busy = false
+	}
 }
 
 // Start boots the routing agent.
@@ -151,11 +190,20 @@ func (nd *Node) onControl(pkt *packet.Packet, now time.Duration) {
 	nd.agent.HandleControl(pkt, now)
 }
 
-// onData handles a data packet arriving over a data channel.
+// onData handles a data packet arriving over a data channel. A byzantine
+// terminal intercepts here — after the agent has observed the arrival
+// (CSI measurement, route refresh: the adversary keeps looking healthy)
+// but before the packet is rerouted onward.
 func (nd *Node) onData(pkt *packet.Packet, now time.Duration) {
 	nd.agent.DataArrived(pkt, now)
 	if pkt.Dst == nd.id {
 		nd.rec.DataDelivered(pkt, now)
+		pkt.Release()
+		return
+	}
+	if a := nd.adv; a != nil && now >= a.from && now < a.until && nd.rng.Float64() < a.prob {
+		nd.cfg.Obs.Inc(obs.CAdversaryDrops)
+		nd.rec.DataDropped(pkt, DropAdversary, now)
 		pkt.Release()
 		return
 	}

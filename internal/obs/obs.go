@@ -55,7 +55,12 @@ const (
 	CSPTRecomputes   // link-state shortest-path tree rebuilds
 	// Traffic and end-of-run accounting.
 	CTrafficGenerated // data packets originated by the workload
+	CGossipInfections // gossip rumor infections (first receipt per terminal × rumor)
 	CDrainReleased    // pooled packets freed by the end-of-run drain
+	CDrainData        // the data-packet subset of CDrainReleased (in flight at the horizon)
+	// Adversarial tier (PR 8).
+	CAdversaryDrops // transit data packets discarded by byzantine droppers
+	CJamTransmitted // adversarial noise bursts put on the common channel
 
 	// NumCounters sizes the registry; it is not a valid slot.
 	NumCounters
@@ -110,7 +115,11 @@ var counterNames = [NumCounters]string{
 	CHistorySpills:    "route_history_spills",
 	CSPTRecomputes:    "route_spt_recomputes",
 	CTrafficGenerated: "traffic_generated",
+	CGossipInfections: "gossip_infections",
 	CDrainReleased:    "drain_released",
+	CDrainData:        "drain_data_released",
+	CAdversaryDrops:   "adversary_drops",
+	CJamTransmitted:   "mac_jam_transmitted",
 }
 
 // gaugeNames are the Prometheus-facing gauge names, in slot order.
@@ -378,7 +387,11 @@ type Snapshot struct {
 	SPTRecomputes   uint64 `json:"route_spt_recomputes"`
 
 	TrafficGenerated uint64 `json:"traffic_generated"`
+	GossipInfections uint64 `json:"gossip_infections"`
 	DrainReleased    uint64 `json:"drain_released"`
+	DrainData        uint64 `json:"drain_data_released"`
+	AdversaryDrops   uint64 `json:"adversary_drops"`
+	JamTransmitted   uint64 `json:"mac_jam_transmitted"`
 
 	QueueDepth int64 `json:"queue_depth"`
 
@@ -437,8 +450,16 @@ func (s *Snapshot) counter(c Counter) *uint64 {
 		return &s.SPTRecomputes
 	case CTrafficGenerated:
 		return &s.TrafficGenerated
+	case CGossipInfections:
+		return &s.GossipInfections
 	case CDrainReleased:
 		return &s.DrainReleased
+	case CDrainData:
+		return &s.DrainData
+	case CAdversaryDrops:
+		return &s.AdversaryDrops
+	case CJamTransmitted:
+		return &s.JamTransmitted
 	}
 	panic("obs: unknown counter slot")
 }

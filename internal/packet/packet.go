@@ -35,6 +35,7 @@ const (
 	TypeLREP         // localized query reply
 	TypeBeacon       // ABR associativity beacon
 	TypeLSA          // link-state advertisement flood
+	TypeJam          // adversarial noise burst on the common channel
 )
 
 var typeNames = map[Type]string{
@@ -49,6 +50,7 @@ var typeNames = map[Type]string{
 	TypeLREP:   "LREP",
 	TypeBeacon: "BEACON",
 	TypeLSA:    "LSA",
+	TypeJam:    "JAM",
 }
 
 // String returns the conventional short name of the type.
@@ -91,6 +93,10 @@ const (
 	SizeBeacon   = 12
 	SizeLSABase  = 24 // LSA header; add SizeLSAEntry per advertised link
 	SizeLSAEntry = 8
+	// SizeJam is the default on-air size of an adversarial noise burst:
+	// 128 bytes ≈ 4 ms of carrier on the 250 kbps common channel, long
+	// enough to destroy any control packet it overlaps.
+	SizeJam = 128
 )
 
 // SizeOf reports the default on-air size for a packet type. LSA sizes
@@ -119,6 +125,8 @@ func SizeOf(t Type) int {
 		return SizeBeacon
 	case TypeLSA:
 		return SizeLSABase
+	case TypeJam:
+		return SizeJam
 	default:
 		panic(fmt.Sprintf("packet: SizeOf(%v)", t))
 	}

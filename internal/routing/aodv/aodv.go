@@ -70,4 +70,4 @@ func (a *Agent) LinkFailed(next int, pkt *packet.Packet, now time.Duration) {
 // DrainPending implements network.Drainer: once the simulation horizon
 // has passed, packets parked behind route queries or jittered relays in
 // the shared core are silently released for exact pool-leak accounting.
-func (a *Agent) DrainPending() int { return a.core.DrainPending() }
+func (a *Agent) DrainPending() (data, control int) { return a.core.DrainPending() }

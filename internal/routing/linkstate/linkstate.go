@@ -308,5 +308,6 @@ func (a *Agent) LinkFailed(next int, pkt *packet.Packet, now time.Duration) {
 
 // DrainPending implements network.Drainer: after the horizon, LSA relays
 // still parked behind rebroadcast jitter are silently returned to the
-// pool so end-of-run leak accounting comes out exact.
-func (a *Agent) DrainPending() int { return a.relay.Drain() }
+// pool so end-of-run leak accounting comes out exact. A table-driven
+// protocol parks no data packets, so the data count is always zero.
+func (a *Agent) DrainPending() (data, control int) { return 0, a.relay.Drain() }

@@ -166,14 +166,14 @@ func (c *Core) History() *History { return c.hist }
 // it silently releases every data packet still parked behind an
 // unanswered route query and every control packet waiting on a jittered
 // rebroadcast. Called only after the simulation horizon, so nothing is
-// recorded or sent. Returns how many pooled packets were released.
-func (c *Core) DrainPending() int {
-	n := 0
+// recorded or sent. The query-buffered packets are end-to-end data (the
+// conservation check's in-flight term); the jittered relays are control.
+func (c *Core) DrainPending() (data, control int) {
 	for _, p := range c.pending {
-		n += p.ReleaseAll()
+		data += p.ReleaseAll()
 	}
-	n += c.delayed.Drain()
-	return n
+	control = c.delayed.Drain()
+	return data, control
 }
 
 // Forward tries to send pkt along a live table route; it reports whether

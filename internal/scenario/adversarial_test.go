@@ -1,0 +1,319 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"rica/internal/world"
+)
+
+// advBase returns a valid spec with room for adversarial mutations.
+func advBase() Spec {
+	return Spec{
+		Name:     "adv-base",
+		Topology: Topology{Kind: TopoGrid, Rows: 3, Cols: 3, Spacing: 150},
+		Traffic:  Traffic{Kind: TrafficPoisson, Flows: 2, Rate: 5},
+	}
+}
+
+func TestValidateRejectsAdversarialSpecs(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantSub string // the offending field must appear in the error
+	}{
+		{"drop_prob above one", func(s *Spec) {
+			s.Adversaries = []Adversary{{Node: 4, Behavior: AdversaryDrop, DropProb: 1.5}}
+		}, "drop_prob"},
+		{"negative drop_prob", func(s *Spec) {
+			s.Adversaries = []Adversary{{Node: 4, Behavior: AdversaryDrop, DropProb: -0.1}}
+		}, "drop_prob"},
+		{"NaN drop_prob", func(s *Spec) {
+			s.Adversaries = []Adversary{{Node: 4, Behavior: AdversaryDrop, DropProb: math.NaN()}}
+		}, "drop_prob"},
+		{"dropper with jam fields", func(s *Spec) {
+			s.Adversaries = []Adversary{{Node: 4, Behavior: AdversaryDrop, DropProb: 0.5, Rate: 10}}
+		}, "rate"},
+		{"jammer without rate", func(s *Spec) {
+			s.Adversaries = []Adversary{{Node: 4, Behavior: AdversaryJam}}
+		}, "rate"},
+		{"jammer with NaN rate", func(s *Spec) {
+			s.Adversaries = []Adversary{{Node: 4, Behavior: AdversaryJam, Rate: math.NaN()}}
+		}, "rate"},
+		{"jammer burst too large", func(s *Spec) {
+			s.Adversaries = []Adversary{{Node: 4, Behavior: AdversaryJam, Rate: 10, Size: MaxJamBytes + 1}}
+		}, "size"},
+		{"jammer with drop fields", func(s *Spec) {
+			s.Adversaries = []Adversary{{Node: 4, Behavior: AdversaryJam, Rate: 10, DropProb: 0.5}}
+		}, "drop_prob"},
+		{"unknown behaviour", func(s *Spec) {
+			s.Adversaries = []Adversary{{Node: 4, Behavior: "wormhole"}}
+		}, "behavior"},
+		{"adversary node out of range", func(s *Spec) {
+			s.Adversaries = []Adversary{{Node: 9, Behavior: AdversaryDrop, DropProb: 0.5}}
+		}, "node"},
+		{"empty adversary window", func(s *Spec) {
+			s.Adversaries = []Adversary{{
+				Node: 4, Behavior: AdversaryDrop, DropProb: 0.5,
+				From: Duration(5 * time.Second), Until: Duration(5 * time.Second),
+			}}
+		}, "window"},
+		{"inverted adversary window", func(s *Spec) {
+			s.Adversaries = []Adversary{{
+				Node: 4, Behavior: AdversaryDrop, DropProb: 0.5,
+				From: Duration(9 * time.Second), Until: Duration(3 * time.Second),
+			}}
+		}, "window"},
+		{"churn exceeding node count", func(s *Spec) {
+			s.Churn = &Churn{Nodes: 10, Waves: 2, Period: Duration(time.Second), Down: Duration(time.Second)}
+		}, "churn.nodes"},
+		{"churn without nodes", func(s *Spec) {
+			s.Churn = &Churn{Waves: 2, Period: Duration(time.Second), Down: Duration(time.Second)}
+		}, "churn.nodes"},
+		{"churn wave flood", func(s *Spec) {
+			s.Churn = &Churn{Nodes: 1, Waves: MaxChurnWaves + 1, Period: Duration(time.Second), Down: Duration(time.Second)}
+		}, "churn.waves"},
+		{"churn without period", func(s *Spec) {
+			s.Churn = &Churn{Nodes: 1, Waves: 2, Down: Duration(time.Second)}
+		}, "churn.period"},
+		{"churn without downtime", func(s *Spec) {
+			s.Churn = &Churn{Nodes: 1, Waves: 2, Period: Duration(time.Second)}
+		}, "churn.down"},
+		{"churn schedule past the horizon bound", func(s *Spec) {
+			s.Churn = &Churn{
+				Nodes: 1, Waves: MaxChurnWaves,
+				Period: MaxDuration / 2, Down: Duration(time.Second),
+			}
+		}, "churn"},
+		{"gossip without rumors", func(s *Spec) {
+			s.Traffic = Traffic{Kind: TrafficGossip, Rate: 2}
+		}, "rumors"},
+		{"gossip rumor flood", func(s *Spec) {
+			s.Traffic = Traffic{Kind: TrafficGossip, Rate: 2, Rumors: MaxGossipRumors + 1}
+		}, "rumors"},
+		{"gossip push flood", func(s *Spec) {
+			s.Traffic = Traffic{Kind: TrafficGossip, Rate: 2, Rumors: 1, Pushes: MaxGossipPushes + 1}
+		}, "pushes"},
+		{"gossip with pairs", func(s *Spec) {
+			s.Traffic = Traffic{Kind: TrafficGossip, Rate: 2, Rumors: 1, Pairs: []Pair{{Src: 0, Dst: 1}}}
+		}, "pairs"},
+		{"gossip with flows", func(s *Spec) {
+			s.Traffic = Traffic{Kind: TrafficGossip, Rate: 2, Rumors: 1, Flows: 3}
+		}, "flows"},
+		{"rumors on poisson traffic", func(s *Spec) {
+			s.Traffic.Rumors = 2
+		}, "rumors"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := advBase()
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("spec validated; want an error naming %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not name %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsAdversarialSpecs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"full-run dropper (zero until)", func(s *Spec) {
+			s.Adversaries = []Adversary{{Node: 4, Behavior: AdversaryDrop, DropProb: 0.5}}
+		}},
+		{"boundary drop probabilities", func(s *Spec) {
+			s.Adversaries = []Adversary{
+				{Node: 4, Behavior: AdversaryDrop, DropProb: 0},
+				{Node: 5, Behavior: AdversaryDrop, DropProb: 1},
+			}
+		}},
+		{"windowed jammer with default size", func(s *Spec) {
+			s.Adversaries = []Adversary{{
+				Node: 4, Behavior: AdversaryJam, Rate: 20,
+				From: Duration(time.Second), Until: Duration(3 * time.Second),
+			}}
+		}},
+		{"overlapping churn waves", func(s *Spec) {
+			s.Churn = &Churn{
+				Nodes: 2, Waves: 3,
+				Period: Duration(time.Second), Down: Duration(5 * time.Second),
+			}
+		}},
+		{"gossip with default pushes", func(s *Spec) {
+			s.Traffic = Traffic{Kind: TrafficGossip, Rate: 2, Rumors: 3}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := advBase()
+			tc.mutate(&s)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("spec rejected: %v", err)
+			}
+			if _, err := s.Compile(); err != nil {
+				t.Fatalf("spec failed to compile: %v", err)
+			}
+		})
+	}
+}
+
+func TestCompileLowersGossip(t *testing.T) {
+	s := advBase()
+	s.Traffic = Traffic{Kind: TrafficGossip, Rate: 2.5, Rumors: 4}
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Gossip == nil {
+		t.Fatal("gossip traffic compiled without a gossip config")
+	}
+	if cfg.Gossip.Rumors != 4 || cfg.Gossip.Rate != 2.5 {
+		t.Errorf("gossip config = %+v", cfg.Gossip)
+	}
+	if cfg.Gossip.Pushes != DefaultGossipPushes {
+		t.Errorf("pushes = %d, want default %d", cfg.Gossip.Pushes, DefaultGossipPushes)
+	}
+	if cfg.Flows == nil || len(cfg.Flows) != 0 {
+		t.Errorf("gossip must compile an empty non-nil flow list, got %#v", cfg.Flows)
+	}
+	s.Traffic.Pushes = 7
+	cfg, err = s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Gossip.Pushes != 7 {
+		t.Errorf("explicit pushes = %d, want 7", cfg.Gossip.Pushes)
+	}
+}
+
+func TestCompileLowersAdversaries(t *testing.T) {
+	s := advBase()
+	s.Adversaries = []Adversary{
+		{Node: 4, Behavior: AdversaryDrop, DropProb: 0.75,
+			From: Duration(time.Second), Until: Duration(4 * time.Second)},
+		{Node: 2, Behavior: AdversaryJam, Rate: 30, Size: 256},
+	}
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantD := []world.Dropper{{Node: 4, Prob: 0.75, From: time.Second, Until: 4 * time.Second}}
+	wantJ := []world.Jammer{{Node: 2, Rate: 30, Size: 256}}
+	if len(cfg.Droppers) != 1 || cfg.Droppers[0] != wantD[0] {
+		t.Errorf("droppers = %+v, want %+v", cfg.Droppers, wantD)
+	}
+	if len(cfg.Jammers) != 1 || cfg.Jammers[0] != wantJ[0] {
+		t.Errorf("jammers = %+v, want %+v", cfg.Jammers, wantJ)
+	}
+}
+
+func TestCompileExpandsChurn(t *testing.T) {
+	s := advBase() // 9 terminals
+	s.Outages = []Outage{{Node: 8, From: Duration(time.Second), Until: Duration(2 * time.Second)}}
+	s.Churn = &Churn{
+		Nodes: 4, Waves: 3,
+		Period: Duration(6 * time.Second), Down: Duration(5 * time.Second),
+		From: Duration(2 * time.Second),
+	}
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Outages) != 1+4*3 {
+		t.Fatalf("outages = %d, want explicit 1 + churn 12", len(cfg.Outages))
+	}
+	// The explicit outage leads, untouched.
+	if cfg.Outages[0] != (world.Outage{Node: 8, From: time.Second, Until: 2 * time.Second}) {
+		t.Errorf("explicit outage perturbed: %+v", cfg.Outages[0])
+	}
+	// Wave w downs nodes (w*4+k) mod 9 at 2s + w*6s for 5 s each — the
+	// rolling frontier wraps back to node 0 partway through wave 2.
+	for w := 0; w < 3; w++ {
+		start := 2*time.Second + time.Duration(w)*6*time.Second
+		for k := 0; k < 4; k++ {
+			got := cfg.Outages[1+w*4+k]
+			want := world.Outage{Node: (w*4 + k) % 9, From: start, Until: start + 5*time.Second}
+			if got != want {
+				t.Errorf("churn outage [%d,%d] = %+v, want %+v", w, k, got, want)
+			}
+		}
+	}
+}
+
+func TestOutageEdgeCases(t *testing.T) {
+	t.Run("zero-length window rejected", func(t *testing.T) {
+		s := advBase()
+		s.Outages = []Outage{{Node: 1, From: Duration(5 * time.Second), Until: Duration(5 * time.Second)}}
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), "empty") {
+			t.Fatalf("zero-length outage window: err = %v, want an \"empty\" rejection", err)
+		}
+	})
+	t.Run("overlapping windows on one node compile", func(t *testing.T) {
+		s := advBase()
+		s.Outages = []Outage{
+			{Node: 1, From: Duration(time.Second), Until: Duration(6 * time.Second)},
+			{Node: 1, From: Duration(4 * time.Second), Until: Duration(9 * time.Second)},
+		}
+		cfg, err := s.Compile()
+		if err != nil {
+			t.Fatalf("overlapping outage windows rejected: %v", err)
+		}
+		if len(cfg.Outages) != 2 {
+			t.Fatalf("outages = %d, want both windows (the oracle ORs them)", len(cfg.Outages))
+		}
+	})
+	t.Run("outage spanning the final instant compiles", func(t *testing.T) {
+		s := advBase()
+		s.Duration = Duration(10 * time.Second)
+		s.Outages = []Outage{{Node: 1, From: Duration(8 * time.Second), Until: Duration(20 * time.Second)}}
+		if _, err := s.Compile(); err != nil {
+			t.Fatalf("outage past the horizon rejected: %v", err)
+		}
+	})
+	t.Run("churn spilling past the horizon compiles", func(t *testing.T) {
+		s := advBase()
+		s.Duration = Duration(10 * time.Second)
+		s.Churn = &Churn{
+			Nodes: 1, Waves: 4,
+			Period: Duration(4 * time.Second), Down: Duration(3 * time.Second),
+		}
+		// The last wave starts at 12 s, past the 10 s horizon — legal; the
+		// oracle simply never gets asked about it.
+		if _, err := s.Compile(); err != nil {
+			t.Fatalf("churn spilling past the horizon rejected: %v", err)
+		}
+	})
+}
+
+func TestAdversarialSpecsRoundTripJSON(t *testing.T) {
+	for _, name := range []string{"gossip-200", "jammer-grid", "churn-storm", "byzantine-drop"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := s.JSON()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := ParseJSON(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		redata, err := back.JSON()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if string(data) != string(redata) {
+			t.Errorf("%s JSON round trip diverged:\n%s\nvs\n%s", name, data, redata)
+		}
+	}
+}

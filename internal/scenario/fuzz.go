@@ -1,0 +1,397 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Fuzz-sweep bounds. Validate's sanity limits (MaxNodes, MaxRate, ...)
+// keep specs simulable at all; these much tighter caps keep a *fuzzing
+// round* simulable — every repaired spec stays small enough that one
+// run finishes in milliseconds, so a corpus of hundreds sweeps in
+// seconds. Mutator.repair clamps into these.
+const (
+	fuzzMaxNodes   = 20
+	fuzzMaxFlows   = 4
+	fuzzMaxRate    = 40.0
+	fuzzMaxRumors  = 8
+	fuzzMaxPushes  = 8
+	fuzzMaxWaves   = 6
+	fuzzMaxHorizon = Duration(2 * time.Second)
+)
+
+// Mutator generates and perturbs scenario specs for property-based
+// testing. Random draws a fresh well-formed spec; Mutate applies a few
+// random edits to an existing one. Both funnel through a repair pass, so
+// every returned spec passes Validate — the fuzzer's job is to explore
+// the space of *valid* workloads (adversaries, churn, gossip, every
+// topology) and assert the simulation invariants hold on each, not to
+// re-test Validate's rejections. All randomness comes from the caller's
+// rng, so a seeded sweep is reproducible.
+type Mutator struct{}
+
+// Random draws a fresh scenario: a random topology kind, traffic kind,
+// and a sprinkling of adversaries, churn, and outages.
+func (m Mutator) Random(rng *rand.Rand) Spec {
+	s := Spec{
+		Name:     fmt.Sprintf("fuzz-%08x", rng.Uint32()),
+		Duration: Duration(time.Duration(1 + rng.Intn(int(fuzzMaxHorizon)))),
+	}
+	switch rng.Intn(4) {
+	case 0:
+		s.Topology = Topology{
+			Kind: TopoWaypoint, N: 2 + rng.Intn(fuzzMaxNodes-1),
+			Width: 200 + 800*rng.Float64(), Height: 200 + 800*rng.Float64(),
+			MeanSpeedKmh: 80 * rng.Float64(),
+			Pause:        Duration(time.Duration(rng.Intn(int(2 * time.Second)))),
+		}
+	case 1:
+		s.Topology = Topology{
+			Kind: TopoGrid, Rows: 1 + rng.Intn(4), Cols: 2 + rng.Intn(4),
+			Spacing: 80 + 150*rng.Float64(),
+		}
+	case 2:
+		s.Topology = Topology{
+			Kind: TopoChain, N: 2 + rng.Intn(8), Spacing: 100 + 150*rng.Float64(),
+		}
+	default:
+		nc := 1 + rng.Intn(3)
+		t := Topology{Kind: TopoClusters}
+		for i := 0; i < nc; i++ {
+			t.Clusters = append(t.Clusters, Cluster{
+				X: 500 * rng.Float64(), Y: 500 * rng.Float64(),
+				Radius: 50 + 100*rng.Float64(), Count: 1 + rng.Intn(6),
+			})
+		}
+		s.Topology = t
+	}
+	s.Traffic = Traffic{
+		Kind: []TrafficKind{TrafficPoisson, TrafficCBR, TrafficOnOff, TrafficGossip}[rng.Intn(4)],
+		Rate: 1 + (fuzzMaxRate-1)*rng.Float64(),
+	}
+	for rng.Intn(3) == 0 {
+		m.addAdversary(&s, rng)
+	}
+	if rng.Intn(4) == 0 {
+		m.addChurn(&s, rng)
+	}
+	if rng.Intn(4) == 0 {
+		m.addOutage(&s, rng)
+	}
+	m.repair(&s, rng)
+	return s
+}
+
+// Mutate deep-copies spec, applies one to three random edits, and
+// repairs the result back into validity.
+func (m Mutator) Mutate(spec Spec, rng *rand.Rand) Spec {
+	s := clone(spec)
+	for edits := 1 + rng.Intn(3); edits > 0; edits-- {
+		mutatorEdits[rng.Intn(len(mutatorEdits))](m, &s, rng)
+	}
+	m.repair(&s, rng)
+	return s
+}
+
+type edit func(Mutator, *Spec, *rand.Rand)
+
+// mutatorEdits is the mutation table. Each entry may leave the spec
+// invalid — repair cleans up after it — but should steer toward
+// interesting shapes rather than noise.
+var mutatorEdits = []edit{
+	func(_ Mutator, s *Spec, rng *rand.Rand) { // resize the population
+		switch s.Topology.Kind {
+		case TopoGrid:
+			s.Topology.Rows += rng.Intn(3) - 1
+			s.Topology.Cols += rng.Intn(3) - 1
+		case TopoClusters:
+			if len(s.Topology.Clusters) > 0 {
+				s.Topology.Clusters[rng.Intn(len(s.Topology.Clusters))].Count += rng.Intn(5) - 2
+			}
+		default:
+			s.Topology.N += rng.Intn(7) - 3
+		}
+	},
+	func(_ Mutator, s *Spec, rng *rand.Rand) { // switch topology kind
+		kinds := []TopologyKind{TopoWaypoint, TopoGrid, TopoChain, TopoClusters}
+		s.Topology.Kind = kinds[rng.Intn(len(kinds))]
+	},
+	func(_ Mutator, s *Spec, rng *rand.Rand) { // scale the load
+		s.Traffic.Rate *= 0.25 + 3*rng.Float64()
+	},
+	func(_ Mutator, s *Spec, rng *rand.Rand) { // switch traffic kind
+		kinds := []TrafficKind{TrafficPoisson, TrafficCBR, TrafficOnOff, TrafficGossip}
+		s.Traffic.Kind = kinds[rng.Intn(len(kinds))]
+	},
+	func(_ Mutator, s *Spec, rng *rand.Rand) { // jiggle gossip shape
+		s.Traffic.Kind = TrafficGossip
+		s.Traffic.Rumors += rng.Intn(5) - 2
+		s.Traffic.Pushes += rng.Intn(5) - 2
+	},
+	func(m Mutator, s *Spec, rng *rand.Rand) { m.addAdversary(s, rng) },
+	func(_ Mutator, s *Spec, rng *rand.Rand) { // drop an adversary
+		if len(s.Adversaries) > 0 {
+			i := rng.Intn(len(s.Adversaries))
+			s.Adversaries = append(s.Adversaries[:i], s.Adversaries[i+1:]...)
+		}
+	},
+	func(_ Mutator, s *Spec, rng *rand.Rand) { // perturb an adversary
+		if len(s.Adversaries) == 0 {
+			return
+		}
+		a := &s.Adversaries[rng.Intn(len(s.Adversaries))]
+		a.Node += rng.Intn(5) - 2
+		switch a.Behavior {
+		case AdversaryDrop:
+			a.DropProb += 0.4*rng.Float64() - 0.2
+		case AdversaryJam:
+			a.Rate *= 0.5 + rng.Float64()
+			a.Size += rng.Intn(512) - 256
+		}
+		a.From = Duration(time.Duration(rng.Intn(int(fuzzMaxHorizon))))
+		if rng.Intn(2) == 0 {
+			a.Until = a.From + Duration(time.Duration(rng.Intn(int(time.Second))))
+		} else {
+			a.Until = 0
+		}
+	},
+	func(m Mutator, s *Spec, rng *rand.Rand) { m.addChurn(s, rng) },
+	func(_ Mutator, s *Spec, _ *rand.Rand) { s.Churn = nil },
+	func(m Mutator, s *Spec, rng *rand.Rand) { m.addOutage(s, rng) },
+	func(_ Mutator, s *Spec, rng *rand.Rand) { // stretch or shrink the horizon
+		s.Duration = Duration(time.Duration(1 + rng.Intn(int(fuzzMaxHorizon))))
+	},
+	func(_ Mutator, s *Spec, rng *rand.Rand) { // pin explicit pairs
+		s.Traffic.Pairs = append(s.Traffic.Pairs, Pair{Src: rng.Intn(30), Dst: rng.Intn(30)})
+	},
+	func(_ Mutator, s *Spec, rng *rand.Rand) { // radio/buffer overrides
+		s.RangeM = 100 + 300*rng.Float64()
+		s.BufferCap = rng.Intn(20)
+		s.BufferLifetime = Duration(time.Duration(rng.Intn(int(2 * time.Second))))
+	},
+}
+
+func (m Mutator) addAdversary(s *Spec, rng *rand.Rand) {
+	a := Adversary{Node: rng.Intn(30)}
+	if rng.Intn(2) == 0 {
+		a.Behavior = AdversaryDrop
+		a.DropProb = rng.Float64()
+	} else {
+		a.Behavior = AdversaryJam
+		a.Rate = 1 + 40*rng.Float64()
+		a.Size = rng.Intn(1024)
+	}
+	s.Adversaries = append(s.Adversaries, a)
+}
+
+func (Mutator) addChurn(s *Spec, rng *rand.Rand) {
+	s.Churn = &Churn{
+		Nodes: 1 + rng.Intn(4), Waves: 1 + rng.Intn(fuzzMaxWaves),
+		Period: Duration(time.Duration(1 + rng.Intn(int(500*time.Millisecond)))),
+		Down:   Duration(time.Duration(1 + rng.Intn(int(500*time.Millisecond)))),
+		From:   Duration(time.Duration(rng.Intn(int(time.Second)))),
+	}
+}
+
+func (Mutator) addOutage(s *Spec, rng *rand.Rand) {
+	from := Duration(time.Duration(rng.Intn(int(fuzzMaxHorizon))))
+	s.Outages = append(s.Outages, Outage{
+		Node: rng.Intn(30), From: from,
+		Until: from + Duration(time.Duration(1+rng.Intn(int(time.Second)))),
+	})
+}
+
+// repair clamps a (possibly mangled) spec back into Validate's good
+// graces without discarding the mutation's intent: counts and rates are
+// clamped, dangling node references are wrapped onto real terminals,
+// windows are re-ordered, and kind-specific fields that would be
+// rejected on the current kind are cleared. Repaired specs always
+// validate; TestMutatorAlwaysValid holds it to that.
+func (Mutator) repair(s *Spec, rng *rand.Rand) {
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("fuzz-%08x", rng.Uint32())
+	}
+	t := &s.Topology
+	switch t.Kind {
+	case TopoGrid:
+		t.Rows = clampInt(t.Rows, 1, 5)
+		t.Cols = clampInt(t.Cols, 1, 5)
+		if t.Rows*t.Cols < 2 {
+			t.Cols = 2
+		}
+		t.Spacing = clampF(t.Spacing, 50, 300)
+	case TopoChain:
+		t.N = clampInt(t.N, 2, fuzzMaxNodes)
+		t.Spacing = clampF(t.Spacing, 50, 300)
+	case TopoClusters:
+		if len(t.Clusters) == 0 {
+			t.Clusters = []Cluster{{X: 200, Y: 200, Radius: 100, Count: 4}}
+		}
+		total := 0
+		for i := range t.Clusters {
+			c := &t.Clusters[i]
+			c.Count = clampInt(c.Count, 1, 8)
+			c.Radius = clampF(c.Radius, 30, 200)
+			c.X = clampF(c.X, -1000, 1000)
+			c.Y = clampF(c.Y, -1000, 1000)
+			total += c.Count
+		}
+		if total < 2 {
+			t.Clusters[0].Count = 2
+		}
+	default:
+		t.Kind = TopoWaypoint
+		t.N = clampInt(t.N, 2, fuzzMaxNodes)
+		t.Width = clampF(t.Width, 100, 2000)
+		t.Height = clampF(t.Height, 100, 2000)
+		t.MeanSpeedKmh = clampF(t.MeanSpeedKmh, 0, 100)
+		t.Pause = clampD(t.Pause, 0, Duration(5*time.Second))
+	}
+	n := t.NodeCount()
+
+	tr := &s.Traffic
+	tr.Rate = clampF(tr.Rate, 0.5, fuzzMaxRate)
+	switch tr.Kind {
+	case TrafficGossip:
+		tr.Rumors = clampInt(tr.Rumors, 1, fuzzMaxRumors)
+		tr.Pushes = clampInt(tr.Pushes, 0, fuzzMaxPushes)
+		tr.Pairs, tr.Flows = nil, 0
+		tr.On, tr.Off = 0, 0
+	case TrafficOnOff:
+		tr.Rumors, tr.Pushes = 0, 0
+		tr.On = clampD(tr.On, Duration(10*time.Millisecond), Duration(time.Second))
+		tr.Off = clampD(tr.Off, Duration(10*time.Millisecond), Duration(time.Second))
+		repairFlows(tr, n, rng)
+	case TrafficCBR:
+		tr.Rumors, tr.Pushes = 0, 0
+		tr.On, tr.Off = 0, 0
+		repairFlows(tr, n, rng)
+	default:
+		tr.Kind = TrafficPoisson
+		tr.Rumors, tr.Pushes = 0, 0
+		tr.On, tr.Off = 0, 0
+		repairFlows(tr, n, rng)
+	}
+
+	for i := range s.Outages {
+		o := &s.Outages[i]
+		o.Node = wrapNode(o.Node, n)
+		o.From = clampD(o.From, 0, fuzzMaxHorizon)
+		if o.Until <= o.From {
+			o.Until = o.From + Duration(100*time.Millisecond)
+		}
+	}
+	for i := range s.Adversaries {
+		a := &s.Adversaries[i]
+		a.Node = wrapNode(a.Node, n)
+		switch a.Behavior {
+		case AdversaryJam:
+			a.Rate = clampF(a.Rate, 1, 60)
+			a.Size = clampInt(a.Size, 0, MaxJamBytes)
+			a.DropProb = 0
+		default:
+			a.Behavior = AdversaryDrop
+			if math.IsNaN(a.DropProb) {
+				a.DropProb = 0.5
+			}
+			a.DropProb = clampF(a.DropProb, 0, 1)
+			a.Rate, a.Size = 0, 0
+		}
+		a.From = clampD(a.From, 0, fuzzMaxHorizon)
+		if a.Until != 0 && a.Until <= a.From {
+			a.Until = a.From + Duration(100*time.Millisecond)
+		}
+		a.Until = clampD(a.Until, 0, fuzzMaxHorizon+Duration(time.Second))
+	}
+	if c := s.Churn; c != nil {
+		c.Nodes = clampInt(c.Nodes, 1, n)
+		c.Waves = clampInt(c.Waves, 1, fuzzMaxWaves)
+		c.Period = clampD(c.Period, Duration(10*time.Millisecond), Duration(time.Second))
+		c.Down = clampD(c.Down, Duration(10*time.Millisecond), Duration(time.Second))
+		c.From = clampD(c.From, 0, fuzzMaxHorizon)
+	}
+
+	if s.RangeM != 0 {
+		s.RangeM = clampF(s.RangeM, MinRangeM, 1000)
+	}
+	s.BufferCap = clampInt(s.BufferCap, 0, 50)
+	s.BufferLifetime = clampD(s.BufferLifetime, 0, Duration(3*time.Second))
+	s.Duration = clampD(s.Duration, Duration(50*time.Millisecond), fuzzMaxHorizon)
+}
+
+// repairFlows settles the flow count for pair-or-flow traffic kinds:
+// explicit pairs are wrapped onto real distinct terminals, and without
+// pairs the flow count lands in [1, n/2] (disjoint pairs must fit).
+func repairFlows(tr *Traffic, n int, rng *rand.Rand) {
+	for i := 0; i < len(tr.Pairs); i++ {
+		p := &tr.Pairs[i]
+		p.Src = wrapNode(p.Src, n)
+		p.Dst = wrapNode(p.Dst, n)
+		if p.Src == p.Dst {
+			p.Dst = (p.Dst + 1) % n
+		}
+	}
+	if len(tr.Pairs) > 0 {
+		tr.Flows = 0
+		return
+	}
+	tr.Flows = clampInt(tr.Flows, 1, max(1, min(fuzzMaxFlows, n/2)))
+	_ = rng
+}
+
+// clone deep-copies a spec so mutations never alias the original's
+// slices or churn block.
+func clone(s Spec) Spec {
+	c := s
+	c.Topology.Clusters = append([]Cluster(nil), s.Topology.Clusters...)
+	c.Topology.Positions = append([]Point(nil), s.Topology.Positions...)
+	c.Traffic.Pairs = append([]Pair(nil), s.Traffic.Pairs...)
+	c.Outages = append([]Outage(nil), s.Outages...)
+	c.Adversaries = append([]Adversary(nil), s.Adversaries...)
+	if s.Churn != nil {
+		ch := *s.Churn
+		c.Churn = &ch
+	}
+	return c
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if !(v >= lo) { // NaN lands on lo
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampD(v, lo, hi Duration) Duration {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// wrapNode maps any int onto a real terminal id in [0, n).
+func wrapNode(v, n int) int {
+	v %= n
+	if v < 0 {
+		v += n
+	}
+	return v
+}

@@ -110,6 +110,53 @@ var builtins = map[string]Spec{
 		},
 		Duration: Duration(120 * time.Second),
 	},
+	"gossip-200": {
+		Name:        "gossip-200",
+		Description: "200 waypoint terminals carrying a 2-rumor push epidemic: every delivery mints a new sender, the flood-heaviest shape on-demand discovery can face.",
+		Topology: Topology{
+			Kind: TopoWaypoint, N: 200, Width: 2000, Height: 2000,
+			MeanSpeedKmh: 18, Pause: Duration(3 * time.Second),
+		},
+		Traffic:  Traffic{Kind: TrafficGossip, Rate: 2, Rumors: 2, Pushes: 6},
+		Duration: Duration(30 * time.Second),
+	},
+	"jammer-grid": {
+		Name:        "jammer-grid",
+		Description: "A static 6×6 lattice with two interior jammers spraying CSMA-oblivious noise bursts: carrier sense and collisions under deliberate interference.",
+		Topology:    Topology{Kind: TopoGrid, Rows: 6, Cols: 6, Spacing: 140},
+		Traffic:     Traffic{Kind: TrafficCBR, Flows: 8, Rate: 6},
+		Adversaries: []Adversary{
+			{Node: 14, Behavior: AdversaryJam, Rate: 40, Size: 256},
+			{Node: 21, Behavior: AdversaryJam, Rate: 25, Size: 512},
+		},
+		Duration: Duration(45 * time.Second),
+	},
+	"churn-storm": {
+		Name:        "churn-storm",
+		Description: "A fast waypoint field where rolling 5-terminal waves blink out every 6 s for 5 s: routes decay faster than discovery amortizes them.",
+		Topology: Topology{
+			Kind: TopoWaypoint, N: 40, Width: 1200, Height: 1200,
+			MeanSpeedKmh: 36, Pause: Duration(3 * time.Second),
+		},
+		Traffic: Traffic{Kind: TrafficPoisson, Flows: 8, Rate: 8},
+		Churn: &Churn{
+			Nodes: 5, Waves: 8,
+			Period: Duration(6 * time.Second), Down: Duration(5 * time.Second),
+			From: Duration(5 * time.Second),
+		},
+		Duration: Duration(60 * time.Second),
+	},
+	"byzantine-drop": {
+		Name:        "byzantine-drop",
+		Description: "A static 5×5 lattice with two byzantine relays that route honestly but discard most transit data: selective forwarding against every protocol's repair logic.",
+		Topology:    Topology{Kind: TopoGrid, Rows: 5, Cols: 5, Spacing: 160},
+		Traffic:     Traffic{Kind: TrafficPoisson, Flows: 6, Rate: 8},
+		Adversaries: []Adversary{
+			{Node: 12, Behavior: AdversaryDrop, DropProb: 0.75},
+			{Node: 6, Behavior: AdversaryDrop, DropProb: 0.5},
+		},
+		Duration: Duration(45 * time.Second),
+	},
 }
 
 // Names lists the built-in scenario names, sorted.

@@ -132,6 +132,7 @@ const (
 	TrafficPoisson TrafficKind = "poisson"
 	TrafficCBR     TrafficKind = "cbr"
 	TrafficOnOff   TrafficKind = "onoff"
+	TrafficGossip  TrafficKind = "gossip" // epidemic push-rumor dissemination
 )
 
 // pattern maps the kind to the traffic package's arrival process.
@@ -165,6 +166,13 @@ type Traffic struct {
 	// On and Off set the burst cycle of onoff traffic.
 	On  Duration `json:"on,omitempty"`
 	Off Duration `json:"off,omitempty"`
+	// Rumors and Pushes shape gossip traffic: Rumors independent
+	// epidemics are seeded at random terminals, and every infected
+	// terminal pushes each rumor to Pushes random targets at Rate
+	// pushes/s. Gossip needs no flows or pairs — the pushes are the
+	// workload.
+	Rumors int `json:"rumors,omitempty"`
+	Pushes int `json:"pushes,omitempty"`
 }
 
 // Outage schedules one node failure: the terminal's radio is silent
@@ -175,6 +183,55 @@ type Outage struct {
 	Until Duration `json:"until"`
 }
 
+// AdversaryKind selects a misbehaviour.
+type AdversaryKind string
+
+// The supported adversary behaviours.
+const (
+	// AdversaryDrop is a byzantine forwarder: the terminal participates
+	// in routing honestly but discards a fraction of the transit data it
+	// is asked to relay.
+	AdversaryDrop AdversaryKind = "drop"
+	// AdversaryJam is an always-on noise source: the terminal puts
+	// periodic carrier bursts on the common channel, ignoring CSMA,
+	// colliding with whatever overlaps them.
+	AdversaryJam AdversaryKind = "jam"
+)
+
+// Adversary plants one misbehaving terminal. Only the fields of the
+// selected Behavior are consulted; the window [From, Until) bounds the
+// misbehaviour, with a zero Until meaning the whole run.
+type Adversary struct {
+	Node     int           `json:"node"`
+	Behavior AdversaryKind `json:"behavior"`
+	// DropProb is the drop behaviour's per-packet discard probability.
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// Rate is the jam behaviour's bursts/s; Size the burst's bytes
+	// (default packet.SizeJam).
+	Rate float64 `json:"rate,omitempty"`
+	Size int     `json:"size,omitempty"`
+	// From and Until bound the misbehaviour window.
+	From  Duration `json:"from,omitempty"`
+	Until Duration `json:"until,omitempty"`
+}
+
+// Churn generates a storm of short node outages without writing each one
+// out: wave w (0-based) starts at From + w×Period and takes down Nodes
+// terminals — ids (w×Nodes+k) mod n, a rolling frontier over the node
+// set — for Down each. Waves may overlap when Down exceeds Period.
+type Churn struct {
+	// Nodes is how many terminals each wave takes down.
+	Nodes int `json:"nodes"`
+	// Waves is how many waves to schedule.
+	Waves int `json:"waves"`
+	// Period separates consecutive wave starts.
+	Period Duration `json:"period"`
+	// Down is each victim's outage length.
+	Down Duration `json:"down"`
+	// From delays the first wave.
+	From Duration `json:"from,omitempty"`
+}
+
 // Spec is one complete declarative scenario.
 type Spec struct {
 	Name        string   `json:"name"`
@@ -183,6 +240,11 @@ type Spec struct {
 	Traffic     Traffic  `json:"traffic"`
 	// Outages is the node failure & heal schedule.
 	Outages []Outage `json:"outages,omitempty"`
+	// Adversaries plants misbehaving terminals (droppers, jammers).
+	Adversaries []Adversary `json:"adversaries,omitempty"`
+	// Churn schedules a storm of rolling short outages on top of any
+	// explicit Outages.
+	Churn *Churn `json:"churn,omitempty"`
 	// RangeM overrides the radio reception range in metres (default 250).
 	RangeM float64 `json:"range_m,omitempty"`
 	// BufferCap and BufferLifetime override the store-and-forward buffers
@@ -238,6 +300,15 @@ const (
 	// explode the cell count.
 	MinRangeM = 10
 	MaxRangeM = 10_000
+	// MaxGossipRumors bounds how many epidemics gossip traffic seeds.
+	MaxGossipRumors = 256
+	// MaxGossipPushes bounds each infection's push budget.
+	MaxGossipPushes = 64
+	// MaxChurnWaves bounds the churn storm's wave count.
+	MaxChurnWaves = 10_000
+	// MaxJamBytes bounds one jam burst (32× the jam default — half a
+	// second of carrier at 250 kbps, already far past plausible).
+	MaxJamBytes = 4_096
 )
 
 // Validate checks the spec for structural errors. A valid spec always
@@ -341,8 +412,26 @@ func (s Spec) Validate() error {
 		if s.Traffic.On > MaxDuration || s.Traffic.Off > MaxDuration {
 			return fail("traffic.on/off windows exceed the %v bound", time.Duration(MaxDuration))
 		}
+	case TrafficGossip:
+		if s.Traffic.Rumors < 1 || s.Traffic.Rumors > MaxGossipRumors {
+			return fail("gossip traffic needs 1 ≤ rumors ≤ %d, got %d",
+				MaxGossipRumors, s.Traffic.Rumors)
+		}
+		if s.Traffic.Pushes < 0 || s.Traffic.Pushes > MaxGossipPushes {
+			return fail("traffic.pushes %d outside [0, %d]", s.Traffic.Pushes, MaxGossipPushes)
+		}
+		if len(s.Traffic.Pairs) > 0 {
+			return fail("gossip traffic draws its own targets; pairs must be empty")
+		}
+		if s.Traffic.Flows != 0 {
+			return fail("gossip traffic needs no flows (the pushes are the workload), got %d",
+				s.Traffic.Flows)
+		}
 	default:
 		return fail("unknown traffic kind %q", s.Traffic.Kind)
+	}
+	if s.Traffic.Kind != TrafficGossip && (s.Traffic.Rumors != 0 || s.Traffic.Pushes != 0) {
+		return fail("traffic.rumors/pushes only apply to gossip traffic, kind is %q", s.Traffic.Kind)
 	}
 	if s.Traffic.Rate <= 0 {
 		return fail("traffic rate must be positive, got %g", s.Traffic.Rate)
@@ -350,7 +439,7 @@ func (s Spec) Validate() error {
 	if s.Traffic.Rate > MaxRate {
 		return fail("traffic.rate %g exceeds the %d packets/s bound", s.Traffic.Rate, MaxRate)
 	}
-	if len(s.Traffic.Pairs) == 0 {
+	if len(s.Traffic.Pairs) == 0 && s.Traffic.Kind != TrafficGossip {
 		if s.Traffic.Flows < 1 {
 			return fail("traffic needs flows ≥ 1 or explicit pairs")
 		}
@@ -377,6 +466,75 @@ func (s Spec) Validate() error {
 		}
 		if o.From > MaxDuration || o.Until > MaxDuration {
 			return fail("outage %d window exceeds the %v bound", i, time.Duration(MaxDuration))
+		}
+	}
+	for i, a := range s.Adversaries {
+		if a.Node < 0 || a.Node >= n {
+			return fail("adversaries[%d].node names terminal %d of %d", i, a.Node, n)
+		}
+		switch a.Behavior {
+		case AdversaryDrop:
+			// !(p ∈ [0,1]) rather than p < 0 || p > 1, so a NaN drop_prob
+			// (which compares false against everything) is rejected too.
+			if !(a.DropProb >= 0 && a.DropProb <= 1) {
+				return fail("adversaries[%d].drop_prob %g outside [0, 1]", i, a.DropProb)
+			}
+			if a.Rate != 0 || a.Size != 0 {
+				return fail("adversaries[%d]: rate/size only apply to jam behaviour", i)
+			}
+		case AdversaryJam:
+			if !(a.Rate > 0 && a.Rate <= MaxRate) {
+				return fail("adversaries[%d].rate %g outside (0, %d] bursts/s", i, a.Rate, MaxRate)
+			}
+			if a.Size < 0 || a.Size > MaxJamBytes {
+				return fail("adversaries[%d].size %d outside [0, %d] bytes", i, a.Size, MaxJamBytes)
+			}
+			if a.DropProb != 0 {
+				return fail("adversaries[%d]: drop_prob only applies to drop behaviour", i)
+			}
+		default:
+			return fail("adversaries[%d]: unknown behavior %q (have drop, jam)", i, a.Behavior)
+		}
+		if a.From < 0 || a.Until < 0 {
+			return fail("adversaries[%d] window has a negative bound", i)
+		}
+		if a.Until != 0 && a.Until <= a.From {
+			return fail("adversaries[%d] window [%v, %v) is empty", i,
+				time.Duration(a.From), time.Duration(a.Until))
+		}
+		if a.From > MaxDuration || a.Until > MaxDuration {
+			return fail("adversaries[%d] window exceeds the %v bound", i, time.Duration(MaxDuration))
+		}
+	}
+	if c := s.Churn; c != nil {
+		if c.Nodes < 1 {
+			return fail("churn.nodes must be ≥ 1, got %d", c.Nodes)
+		}
+		if c.Nodes > n {
+			return fail("churn.nodes %d exceeds the topology's %d terminals", c.Nodes, n)
+		}
+		if c.Waves < 1 || c.Waves > MaxChurnWaves {
+			return fail("churn.waves %d outside [1, %d]", c.Waves, MaxChurnWaves)
+		}
+		if c.Period <= 0 || c.Period > MaxDuration {
+			return fail("churn.period %v outside (0, %v]",
+				time.Duration(c.Period), time.Duration(MaxDuration))
+		}
+		if c.Down <= 0 || c.Down > MaxDuration {
+			return fail("churn.down %v outside (0, %v]",
+				time.Duration(c.Down), time.Duration(MaxDuration))
+		}
+		if c.From < 0 || c.From > MaxDuration {
+			return fail("churn.from %v outside [0, %v]",
+				time.Duration(c.From), time.Duration(MaxDuration))
+		}
+		// The storm's last heal must land within the timestamp bound.
+		// Computed in float64 so a near-MaxInt64 period times 10^4 waves
+		// can't overflow its way past the check.
+		end := float64(c.From) + float64(c.Waves-1)*float64(c.Period) + float64(c.Down)
+		if end > float64(MaxDuration) {
+			return fail("churn schedule ends at %g s, beyond the %v bound",
+				end/float64(time.Second), time.Duration(MaxDuration))
 		}
 	}
 	if s.RangeM < 0 || s.BufferCap < 0 || s.Duration < 0 {
@@ -414,7 +572,17 @@ func (s Spec) Compile() (world.Config, error) {
 		cfg.MaxSpeed = 0
 	}
 
-	if len(s.Traffic.Pairs) > 0 {
+	switch {
+	case s.Traffic.Kind == TrafficGossip:
+		pushes := s.Traffic.Pushes
+		if pushes == 0 {
+			pushes = DefaultGossipPushes
+		}
+		cfg.Gossip = &traffic.GossipConfig{
+			Rumors: s.Traffic.Rumors, Rate: s.Traffic.Rate, Pushes: pushes,
+		}
+		cfg.Flows = []traffic.Flow{} // empty but non-nil: no flow workload
+	case len(s.Traffic.Pairs) > 0:
 		flows := make([]traffic.Flow, len(s.Traffic.Pairs))
 		for i, p := range s.Traffic.Pairs {
 			flows[i] = traffic.Flow{
@@ -425,19 +593,35 @@ func (s Spec) Compile() (world.Config, error) {
 			}
 		}
 		cfg.Flows = flows
-	} else {
+	default:
 		cfg.NumFlows = s.Traffic.Flows
 		cfg.FlowPattern = s.Traffic.Kind.pattern()
 		cfg.FlowOn = time.Duration(s.Traffic.On)
 		cfg.FlowOff = time.Duration(s.Traffic.Off)
 	}
 
-	if len(s.Outages) > 0 {
-		cfg.Outages = make([]world.Outage, len(s.Outages))
+	if len(s.Outages) > 0 || s.Churn != nil {
+		cfg.Outages = make([]world.Outage, len(s.Outages), len(s.Outages)+churnOutages(s.Churn))
 		for i, o := range s.Outages {
 			cfg.Outages[i] = world.Outage{
 				Node: o.Node, From: time.Duration(o.From), Until: time.Duration(o.Until),
 			}
+		}
+		cfg.Outages = appendChurn(cfg.Outages, s.Churn, s.Topology.NodeCount())
+	}
+
+	for _, a := range s.Adversaries {
+		switch a.Behavior {
+		case AdversaryDrop:
+			cfg.Droppers = append(cfg.Droppers, world.Dropper{
+				Node: a.Node, Prob: a.DropProb,
+				From: time.Duration(a.From), Until: time.Duration(a.Until),
+			})
+		case AdversaryJam:
+			cfg.Jammers = append(cfg.Jammers, world.Jammer{
+				Node: a.Node, Rate: a.Rate, Size: a.Size,
+				From: time.Duration(a.From), Until: time.Duration(a.Until),
+			})
 		}
 	}
 
@@ -457,6 +641,40 @@ func (s Spec) Compile() (world.Config, error) {
 		cfg.Seed = s.Seed
 	}
 	return cfg, nil
+}
+
+// DefaultGossipPushes is the push budget compiled in when a gossip spec
+// leaves pushes zero (each infection forwards to three random targets —
+// the classic epidemic fan-out).
+const DefaultGossipPushes = 3
+
+// churnOutages counts the individual outages a churn storm expands to.
+func churnOutages(c *Churn) int {
+	if c == nil {
+		return 0
+	}
+	return c.Nodes * c.Waves
+}
+
+// appendChurn expands the churn storm into concrete outages: wave w
+// (0-based) starts at From + w×Period and takes down terminals
+// (w×Nodes+k) mod n for Down each — a rolling frontier that sweeps the
+// whole node set and wraps around.
+func appendChurn(out []world.Outage, c *Churn, n int) []world.Outage {
+	if c == nil {
+		return out
+	}
+	for w := 0; w < c.Waves; w++ {
+		start := time.Duration(c.From) + time.Duration(w)*time.Duration(c.Period)
+		for k := 0; k < c.Nodes; k++ {
+			out = append(out, world.Outage{
+				Node:  (w*c.Nodes + k) % n,
+				From:  start,
+				Until: start + time.Duration(c.Down),
+			})
+		}
+	}
+	return out
 }
 
 // placements realizes a static topology's terminal positions. Placement

@@ -1,0 +1,182 @@
+package world_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rica/internal/experiment"
+	"rica/internal/geom"
+	"rica/internal/metrics"
+	"rica/internal/network"
+	"rica/internal/traffic"
+	"rica/internal/world"
+)
+
+// chain3 pins a 3-terminal relay chain: 0 and 2 are out of mutual range
+// (400 m apart, 250 m radio), so every data packet transits terminal 1.
+func chain3() []geom.Point {
+	return []geom.Point{{X: 0, Y: 0}, {X: 200, Y: 0}, {X: 400, Y: 0}}
+}
+
+// relayConfig builds a static chain world with one end-to-end flow.
+func relayConfig(d time.Duration) world.Config {
+	cfg := world.DefaultConfig(0, 10)
+	cfg.StaticPositions = chain3()
+	cfg.MaxSpeed = 0
+	cfg.Flows = []traffic.Flow{{Src: 0, Dst: 2, Rate: 10, Pattern: traffic.CBR}}
+	cfg.Duration = d
+	cfg.Seed = 11
+	return cfg
+}
+
+func runRICA(cfg world.Config) metrics.Summary {
+	return world.New(cfg, experiment.Factory(experiment.RICA, 10)).Run()
+}
+
+func TestGossipEpidemicSpreadsAndAccounts(t *testing.T) {
+	cfg := world.DefaultConfig(0, 4)
+	pos := make([]geom.Point, 0, 9)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			pos = append(pos, geom.Point{X: float64(c) * 140, Y: float64(r) * 140})
+		}
+	}
+	cfg.StaticPositions = pos
+	cfg.MaxSpeed = 0
+	cfg.Flows = []traffic.Flow{} // gossip alone
+	cfg.Gossip = &traffic.GossipConfig{Rumors: 2, Rate: 4, Pushes: 3}
+	cfg.Duration = 8 * time.Second
+	cfg.Seed = 5
+	w := world.New(cfg, experiment.Factory(experiment.RICA, 4))
+	s := w.Run()
+	if s.Generated == 0 {
+		t.Fatal("gossip workload generated no data")
+	}
+	if s.Delivered == 0 {
+		t.Fatal("gossip workload delivered nothing on a well-connected grid")
+	}
+	inf := w.Gossip().Infected()
+	if inf < 3 {
+		t.Errorf("infections = %d; the epidemic never spread past its %d origins", inf, 2)
+	}
+	if got := s.Obs.GossipInfections; got != uint64(inf) {
+		t.Errorf("obs infections = %d, accessor reports %d", got, inf)
+	}
+	if s.Obs.TrafficGenerated != uint64(s.Generated) {
+		t.Errorf("TrafficGenerated = %d, Generated = %d: gossip pushes escaped workload accounting",
+			s.Obs.TrafficGenerated, s.Generated)
+	}
+}
+
+func TestJammerSuppressesDelivery(t *testing.T) {
+	quiet := runRICA(relayConfig(10 * time.Second))
+	if quiet.Delivered == 0 {
+		t.Fatal("baseline chain delivered nothing; the jammer comparison is vacuous")
+	}
+	cfg := relayConfig(10 * time.Second)
+	// 80 bursts/s × 33 ms of carrier each oversubscribes the channel:
+	// route discovery can barely get a word in.
+	cfg.Jammers = []world.Jammer{{Node: 1, Rate: 80, Size: 1024}}
+	jammed := runRICA(cfg)
+	if jammed.Obs.JamTransmitted == 0 {
+		t.Fatal("jammer never transmitted")
+	}
+	if jammed.Delivered >= quiet.Delivered {
+		t.Errorf("delivered %d under jamming vs %d quiet; the jammer had no effect",
+			jammed.Delivered, quiet.Delivered)
+	}
+}
+
+func TestByzantineDropperAccounted(t *testing.T) {
+	cfg := relayConfig(10 * time.Second)
+	cfg.Droppers = []world.Dropper{{Node: 1, Prob: 1}}
+	s := runRICA(cfg)
+	if s.Delivered != 0 {
+		t.Errorf("delivered %d packets through a relay dropping everything", s.Delivered)
+	}
+	drops := s.Dropped[network.DropAdversary]
+	if drops == 0 {
+		t.Fatal("no adversary drops recorded")
+	}
+	if s.Obs.AdversaryDrops != uint64(drops) {
+		t.Errorf("obs adversary drops = %d, metrics report %d", s.Obs.AdversaryDrops, drops)
+	}
+}
+
+func TestDropperWindowScopesDrops(t *testing.T) {
+	cfg := relayConfig(12 * time.Second)
+	cfg.Droppers = []world.Dropper{{Node: 1, Prob: 1, From: 0, Until: 3 * time.Second}}
+	s := runRICA(cfg)
+	if s.Dropped[network.DropAdversary] == 0 {
+		t.Error("no drops during the adversarial window")
+	}
+	if s.Delivered == 0 {
+		t.Error("no deliveries after the adversarial window closed")
+	}
+}
+
+func TestZeroProbabilityDropperIsBenign(t *testing.T) {
+	strip := func(s metrics.Summary) string {
+		s.Obs = nil // pointer; its address differs per run
+		return fmt.Sprintf("%+v", s)
+	}
+	quiet := strip(runRICA(relayConfig(6 * time.Second)))
+	cfg := relayConfig(6 * time.Second)
+	cfg.Droppers = []world.Dropper{{Node: 1, Prob: 0}}
+	armed := runRICA(cfg)
+	// The drop draw uses the adversarial node's own RNG stream, so a
+	// never-firing dropper cannot perturb other terminals. In this static
+	// chain the relay's stream is quiescent once the route is up — its
+	// jittered relays all precede the first data transit — so the whole
+	// run stays bit-identical. (With interleaved draws only the victim
+	// node's later draws would shift; this pins the strongest case.)
+	if got := strip(armed); quiet != got {
+		t.Errorf("zero-probability dropper perturbed the run:\n%s\nvs\n%s", quiet, got)
+	}
+	if armed.Dropped[network.DropAdversary] != 0 {
+		t.Errorf("zero-probability dropper dropped %d packets", armed.Dropped[network.DropAdversary])
+	}
+}
+
+func TestAdversarialWorldDeterministic(t *testing.T) {
+	build := func() world.Config {
+		cfg := world.DefaultConfig(18, 5)
+		cfg.N = 20
+		cfg.Field = geom.Field{Width: 800, Height: 800}
+		cfg.Flows = []traffic.Flow{} // gossip supplies the data workload
+		cfg.Gossip = &traffic.GossipConfig{Rumors: 2, Rate: 3, Pushes: 4}
+		cfg.Jammers = []world.Jammer{{Node: 3, Rate: 15, Size: 256, From: time.Second}}
+		cfg.Droppers = []world.Dropper{{Node: 7, Prob: 0.6}}
+		cfg.Outages = []world.Outage{{Node: 11, From: 2 * time.Second, Until: 4 * time.Second}}
+		cfg.Duration = 6 * time.Second
+		cfg.Seed = 99
+		return cfg
+	}
+	format := func(s metrics.Summary) string {
+		// Summary.Obs is a pointer; format the snapshot by value so the
+		// comparison covers the counters rather than a heap address.
+		obs := fmt.Sprintf("%+v", *s.Obs)
+		s.Obs = nil
+		return fmt.Sprintf("%+v obs=%s", s, obs)
+	}
+	a := format(runRICA(build()))
+	b := format(runRICA(build()))
+	if a != b {
+		t.Errorf("adversarial world not replay-deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestOutageSpanningFinalInstant(t *testing.T) {
+	cfg := relayConfig(8 * time.Second)
+	// The relay dies at 5 s and its window runs past the horizon: the
+	// world must finish cleanly with the node still down.
+	cfg.Outages = []world.Outage{{Node: 1, From: 5 * time.Second, Until: 30 * time.Second}}
+	s := runRICA(cfg)
+	if s.Delivered == 0 {
+		t.Error("nothing delivered before the relay died")
+	}
+	if s.Generated < s.Delivered {
+		t.Errorf("accounting inverted: generated %d < delivered %d", s.Generated, s.Delivered)
+	}
+}

@@ -30,6 +30,7 @@ const (
 	streamKindMAC      = 0x_3AC0
 	streamKindNode     = 0x_40DE
 	streamKindPairs    = 0x_9A12
+	streamKindGossip   = 0x_605C
 )
 
 // Config describes one simulation run. DefaultConfig returns the paper's
@@ -62,6 +63,19 @@ type Config struct {
 	// terminal neither sends nor receives on either MAC plane, and heals
 	// back into the network when its window ends.
 	Outages []Outage
+	// Gossip, when non-nil, runs an epidemic push-dissemination workload
+	// alongside the flow workload (set Flows to an empty non-nil slice to
+	// run gossip alone). Deliveries feed infection state through a
+	// recorder tee, so the sender set grows as the epidemic spreads.
+	Gossip *traffic.GossipConfig
+	// Jammers plants adversarial interferers on the common channel: each
+	// puts periodic noise bursts on the air with no carrier sense and no
+	// delivery, deafening CSMA/CA around itself (see mac.Jam).
+	Jammers []Jammer
+	// Droppers makes terminals byzantine: transit data is silently
+	// discarded with the given probability while the terminal keeps
+	// routing honestly (see network.Node.SetAdversary).
+	Droppers []Dropper
 	// Duration is the simulated time (paper: 500 s).
 	Duration time.Duration
 	// Seed selects the trial's random universe; every stochastic component
@@ -123,6 +137,26 @@ type Outage struct {
 	From, Until time.Duration
 }
 
+// Jammer is one adversarial interferer: terminal Node emits a Size-byte
+// noise burst on the common channel every 1/Rate seconds during
+// [From, Until). Zero Until means the whole run; zero Size selects
+// packet.SizeJam.
+type Jammer struct {
+	Node        int
+	Rate        float64
+	Size        int
+	From, Until time.Duration
+}
+
+// Dropper is one byzantine terminal: during [From, Until) it silently
+// discards transit data with probability Prob while routing honestly.
+// Zero Until means the whole run.
+type Dropper struct {
+	Node        int
+	Prob        float64
+	From, Until time.Duration
+}
+
 // AgentFactory builds terminal id's routing agent around its Env. The
 // *World gives protocols that need global boot-time information (the
 // link-state protocol's installed topology) access to it.
@@ -143,8 +177,10 @@ type World struct {
 	Flows     []traffic.Flow
 	Obs       *obs.Registry
 
-	pool  *sim.ShardPool // nil unless cfg.Shards ≥ 2
-	topo0 *routing.Graph // lazily built boot topology snapshot
+	pool    *sim.ShardPool  // nil unless cfg.Shards ≥ 2
+	topo0   *routing.Graph  // lazily built boot topology snapshot
+	gossip  *traffic.Gossip // nil unless cfg.Gossip is set
+	jammers []*jamRunner    // one per cfg.Jammers entry
 }
 
 // New assembles a world. Construction is deterministic in cfg.Seed.
@@ -240,6 +276,14 @@ func New(cfg Config, factory AgentFactory) *World {
 	// every delivery, and sitting inside the trace/timeseries tees keeps
 	// their RouteRecorder promotion (which must stay outermost) intact.
 	var recorder network.Recorder = &obsRecorder{inner: collector, reg: reg}
+	var gossip *traffic.Gossip
+	if cfg.Gossip != nil {
+		// The infection tee sits just outside the obs recorder — like it,
+		// it must not implement RouteRecorder, so the timeseries tee keeps
+		// winning the node runtime's type assertion.
+		gossip = traffic.NewGossip(kernel, *cfg.Gossip, streams.Stream(streamKindGossip), reg)
+		recorder = &gossipRecorder{inner: recorder, gossip: gossip}
+	}
 	if cfg.Trace != nil {
 		recorder = trace.WrapRecorder(recorder, cfg.Trace)
 	}
@@ -261,6 +305,24 @@ func New(cfg Config, factory AgentFactory) *World {
 		Meter:     meter,
 		Obs:       reg,
 		pool:      pool,
+		gossip:    gossip,
+	}
+	for _, j := range cfg.Jammers {
+		if j.Node < 0 || j.Node >= cfg.N {
+			panic("world: jammer on unknown terminal")
+		}
+		if j.Rate <= 0 {
+			continue
+		}
+		if j.Size <= 0 {
+			j.Size = packet.SizeJam
+		}
+		if j.Until <= 0 {
+			j.Until = cfg.Duration
+		}
+		r := &jamRunner{w: w, j: j, period: time.Duration(float64(time.Second) / j.Rate)}
+		r.fire = r.tick
+		w.jammers = append(w.jammers, r)
 	}
 
 	w.Nodes = make([]*network.Node, cfg.N)
@@ -273,6 +335,19 @@ func New(cfg Config, factory AgentFactory) *World {
 	// fully built world (e.g. the boot topology snapshot).
 	for i, nd := range w.Nodes {
 		nd.SetAgent(factory(nd, w, i))
+	}
+	if gossip != nil {
+		gossip.Bind(w.Nodes)
+	}
+	for _, d := range cfg.Droppers {
+		if d.Node < 0 || d.Node >= cfg.N {
+			panic("world: dropper on unknown terminal")
+		}
+		until := d.Until
+		if until <= 0 {
+			until = cfg.Duration
+		}
+		w.Nodes[d.Node].SetAdversary(d.Prob, d.From, until)
 	}
 
 	w.Flows = cfg.Flows
@@ -287,6 +362,10 @@ func New(cfg Config, factory AgentFactory) *World {
 	}
 	return w
 }
+
+// Gossip exposes the run's epidemic workload (nil unless Config.Gossip
+// was set) — tests and diagnostics read its infection coverage.
+func (w *World) Gossip() *traffic.Gossip { return w.gossip }
 
 // BootTopology snapshots the channel graph at t = 0 with CSI hop-distance
 // weights — the "accurate view of the network topology installed in each
@@ -330,12 +409,30 @@ func (w *World) Run() metrics.Summary {
 	gen := traffic.NewGenerator(w.Kernel, w.Nodes)
 	gen.Obs = w.Obs
 	gen.Start(w.Flows, w.Streams, w.Cfg.Duration)
-	w.Kernel.Run(w.Cfg.Duration)
-	drained := w.Common.Drain()
-	for _, nd := range w.Nodes {
-		drained += nd.Drain()
+	if w.gossip != nil {
+		w.gossip.Start(w.Cfg.Duration)
 	}
-	w.Obs.Add(obs.CDrainReleased, uint64(drained))
+	for _, j := range w.jammers {
+		w.Kernel.Schedule(j.j.From, j.fire)
+	}
+	w.Kernel.Run(w.Cfg.Duration)
+	// The drain splits data from control: the data count is exactly the
+	// end-to-end packets still in flight at the horizon, the conservation
+	// check's missing term (generated == delivered + dropped + in-flight).
+	dataDrained := 0
+	// Exchanges caught inside their ACK window have already handed their
+	// packet to the receiver; the sender's queue head is a stale alias
+	// that must be discarded, not released (a release here would double
+	// free the pooled packet and double count the conservation ledger).
+	w.Data.EachHandedOff(func(from, to int) { w.Nodes[from].DiscardStaleHead(to) })
+	ctlDrained := w.Common.Drain()
+	for _, nd := range w.Nodes {
+		d, c := nd.Drain()
+		dataDrained += d
+		ctlDrained += c
+	}
+	w.Obs.Add(obs.CDrainReleased, uint64(dataDrained+ctlDrained))
+	w.Obs.Add(obs.CDrainData, uint64(dataDrained))
 	w.pool.Close() // nil-safe; parks the shard workers for good
 	s := w.Collector.Summary()
 	s.Energy = w.Meter.Stats(s.GoodputBps * w.Cfg.Duration.Seconds())
@@ -366,6 +463,55 @@ func (r *obsRecorder) DataDelivered(pkt *packet.Packet, now time.Duration) {
 
 func (r *obsRecorder) DataDropped(pkt *packet.Packet, reason network.DropReason, now time.Duration) {
 	r.inner.DataDropped(pkt, reason, now)
+}
+
+// gossipRecorder tees data deliveries into the epidemic's infection
+// state before the inner recorders see them. Like obsRecorder it
+// deliberately does NOT implement network.RouteRecorder — route churn
+// discovery must keep resolving to the outermost timeseries tee.
+type gossipRecorder struct {
+	inner  network.Recorder
+	gossip *traffic.Gossip
+}
+
+func (r *gossipRecorder) DataGenerated(pkt *packet.Packet, now time.Duration) {
+	r.inner.DataGenerated(pkt, now)
+}
+
+func (r *gossipRecorder) DataDelivered(pkt *packet.Packet, now time.Duration) {
+	r.gossip.Delivered(pkt, now)
+	r.inner.DataDelivered(pkt, now)
+}
+
+func (r *gossipRecorder) DataDropped(pkt *packet.Packet, reason network.DropReason, now time.Duration) {
+	r.inner.DataDropped(pkt, reason, now)
+}
+
+// jamRunner drives one Jammer's periodic noise bursts. One bound handler
+// per jammer, one pooled packet per burst (recycled when the burst
+// leaves the air), so an always-on jammer costs the allocator nothing in
+// steady state.
+type jamRunner struct {
+	w      *World
+	j      Jammer
+	period time.Duration
+	fire   sim.Handler
+}
+
+// tick puts one burst on the air and re-arms until the window closes.
+func (r *jamRunner) tick(now time.Duration) {
+	if now >= r.j.Until {
+		return
+	}
+	pkt := packet.Get()
+	pkt.Type = packet.TypeJam
+	pkt.Src = r.j.Node
+	pkt.From = r.j.Node
+	pkt.To = packet.Broadcast
+	pkt.Size = r.j.Size
+	pkt.CreatedAt = now
+	r.w.Common.Jam(pkt)
+	r.w.Kernel.Schedule(r.period, r.fire)
 }
 
 // pinned is the Positioner of a scripted static terminal.

@@ -49,6 +49,7 @@ import (
 
 	"rica/internal/batch"
 	"rica/internal/experiment"
+	"rica/internal/invariant"
 	"rica/internal/metrics"
 	"rica/internal/obs"
 	"rica/internal/packet"
@@ -324,6 +325,85 @@ func LoadScenario(path string) (Scenario, error) {
 	}
 	return scenario.ParseJSON(data)
 }
+
+// ScenarioRun pins one simulation of a compiled scenario: the spec, the
+// protocol under test, and the deterministic coordinates. It is the
+// single-run analogue of a batch cell — SimulateScenario(r) and a
+// 1×1×1 RunBatch cell execute the same configuration.
+type ScenarioRun struct {
+	// Scenario is the validated spec to compile and run.
+	Scenario Scenario
+	// Protocol is the routing protocol under test.
+	Protocol Protocol
+	// Seed overrides the scenario's compiled seed when nonzero.
+	Seed int64
+	// Shards, when ≥ 2, enables the sharded engine exactly as
+	// SimConfig.Shards does; results stay bit-identical.
+	Shards int
+	// MaxDuration, when positive, truncates the scenario's horizon — the
+	// fuzzer and the invariant sweep run long catalog entries at short
+	// horizons without editing the specs.
+	MaxDuration time.Duration
+}
+
+// config compiles the run into a world configuration.
+func (r ScenarioRun) config() (world.Config, error) {
+	wcfg, err := r.Scenario.Compile()
+	if err != nil {
+		return world.Config{}, err
+	}
+	if r.Seed != 0 {
+		wcfg.Seed = r.Seed
+	}
+	if r.MaxDuration > 0 && r.MaxDuration < wcfg.Duration {
+		wcfg.Duration = r.MaxDuration
+	}
+	wcfg.Shards = r.Shards
+	return wcfg, nil
+}
+
+// SimulateScenario compiles and executes one scenario run.
+func SimulateScenario(r ScenarioRun) (Summary, error) {
+	wcfg, err := r.config()
+	if err != nil {
+		return Summary{}, err
+	}
+	return world.New(wcfg, experiment.Factory(r.Protocol, r.Scenario.Traffic.Rate)).Run(), nil
+}
+
+// VerifyScenario executes the run under the full invariant harness: the
+// simulation runs twice and must satisfy packet conservation and the
+// ledger checks (CheckInvariants) on both passes, replay to a
+// bit-identical fingerprint, and return every pooled packet. The first
+// pass's summary is returned. Serial-use only — the leak check reads the
+// process-global packet pool, so concurrent simulations (including
+// t.Parallel tests) poison its baseline.
+func VerifyScenario(r ScenarioRun) (Summary, error) {
+	wcfg, err := r.config()
+	if err != nil {
+		return Summary{}, err
+	}
+	return invariant.Verify(func() Summary {
+		cfg := wcfg // runs must not share mutable state
+		return world.New(cfg, experiment.Factory(r.Protocol, r.Scenario.Traffic.Rate)).Run()
+	})
+}
+
+// CheckInvariants validates a completed run's conservation laws: every
+// generated packet is delivered, dropped for a recorded reason, or
+// counted in flight at the horizon; independently maintained ledgers
+// (delay histogram, traffic counters, adversary drops, kernel event
+// counts) agree; the delivery ratio is consistent. A nil error means the
+// summary is self-consistent. Works on any Summary — serial or sharded,
+// Simulate or batch cell.
+func CheckInvariants(s Summary) error { return invariant.CheckSummary(s) }
+
+// Fingerprint renders a Summary into an exact, platform-independent
+// string (integers verbatim, floats in hex so equality means
+// bit-equality). Two runs of the same configuration must produce equal
+// fingerprints; the golden regression tests pin recorded outputs of this
+// exact format.
+func Fingerprint(s Summary) string { return invariant.Fingerprint(s) }
 
 // Batch types: BatchConfig spans a scenario × protocol × seed grid,
 // BatchResult carries per-cell rows plus mean/p50/p95 aggregates (with
