@@ -1,0 +1,242 @@
+package rica_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rica"
+)
+
+// ckDuration truncates catalog horizons for the round-trip grid: long
+// enough that every protocol has discovered routes, broken links, and
+// dropped packets by the capture instant, short enough for CI.
+const ckDuration = 6 * time.Second
+
+func ckRun(t *testing.T, name string, p rica.Protocol, shards int) rica.ScenarioRun {
+	t.Helper()
+	spec, err := rica.ScenarioByName(name)
+	if err != nil {
+		t.Fatalf("ScenarioByName(%q): %v", name, err)
+	}
+	return rica.ScenarioRun{Scenario: spec, Protocol: p, Shards: shards, MaxDuration: ckDuration}
+}
+
+// checkRoundTrip checkpoints r at instant at, resumes the snapshot in a
+// fresh world, and requires the resumed run's fingerprint to equal the
+// uninterrupted run's, with invariants holding on both.
+func checkRoundTrip(t *testing.T, r rica.ScenarioRun, at time.Duration) {
+	t.Helper()
+	base, err := rica.SimulateScenario(r)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	if err := rica.CheckInvariants(base); err != nil {
+		t.Fatalf("uninterrupted run invariants: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rica.Checkpoint(r, at, &buf); err != nil {
+		t.Fatalf("Checkpoint at %v: %v", at, err)
+	}
+	resumed, err := rica.Resume(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if err := rica.CheckInvariants(resumed); err != nil {
+		t.Errorf("resumed run invariants: %v", err)
+	}
+	if got, want := rica.Fingerprint(resumed), rica.Fingerprint(base); got != want {
+		t.Errorf("resumed fingerprint diverged from uninterrupted run\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestCheckpointResumeCatalog round-trips a snapshot mid-run for a
+// catalog cross-section × all five protocols: static chains, mobile
+// dense fields, jammers, and a failure schedule all pass through the
+// capture/replay/verify path, serially.
+func TestCheckpointResumeCatalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("catalog × protocol round-trip grid")
+	}
+	t.Parallel()
+	scenarios := []string{"chain-10", "dense-urban", "jammer-grid", "partition-heal"}
+	for _, name := range scenarios {
+		for _, p := range rica.AllProtocols() {
+			name, p := name, p
+			t.Run(fmt.Sprintf("%s/%s", name, p), func(t *testing.T) {
+				t.Parallel()
+				checkRoundTrip(t, ckRun(t, name, p, 0), 2500*time.Millisecond)
+			})
+		}
+	}
+}
+
+// TestCheckpointResumeInstants round-trips the paper's baseline at
+// several capture instants — early (routes still forming), mid-run, and
+// just before the horizon.
+func TestCheckpointResumeInstants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-instant round trips")
+	}
+	t.Parallel()
+	for _, at := range []time.Duration{1 * time.Second, 3500 * time.Millisecond, 5900 * time.Millisecond} {
+		at := at
+		t.Run(at.String(), func(t *testing.T) {
+			t.Parallel()
+			checkRoundTrip(t, ckRun(t, "paper-baseline", rica.ProtocolRICA, 0), at)
+		})
+	}
+}
+
+// TestCheckpointResumeSharded round-trips under the sharded engine: the
+// snapshot of a -shards 8 run must resume (itself sharded, via the
+// descriptor) to the identical fingerprint.
+func TestCheckpointResumeSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded round trips")
+	}
+	t.Parallel()
+	for _, p := range []rica.Protocol{rica.ProtocolRICA, rica.ProtocolAODV} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			checkRoundTrip(t, ckRun(t, "dense-urban", p, 8), 3*time.Second)
+		})
+	}
+}
+
+// TestRunCheckpointedCompletes runs to the horizon under a periodic
+// snapshot regime and requires the summary — and a resume of the last
+// periodic snapshot — to match the plain run bit-for-bit.
+func TestRunCheckpointedCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpointed full run")
+	}
+	t.Parallel()
+	r := ckRun(t, "chain-10", rica.ProtocolRICA, 0)
+	base, err := rica.SimulateScenario(r)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	s, interrupted, err := rica.RunCheckpointed(r, path, 1500*time.Millisecond, nil)
+	if err != nil || interrupted {
+		t.Fatalf("RunCheckpointed: interrupted=%v err=%v", interrupted, err)
+	}
+	if got, want := rica.Fingerprint(s), rica.Fingerprint(base); got != want {
+		t.Errorf("checkpointed run fingerprint diverged\n got: %s\nwant: %s", got, want)
+	}
+	// The last periodic snapshot (t=4.5s of the 6 s horizon) must resume
+	// to the same place.
+	resumed, err := rica.ResumeFile(path)
+	if err != nil {
+		t.Fatalf("ResumeFile: %v", err)
+	}
+	if got, want := rica.Fingerprint(resumed), rica.Fingerprint(base); got != want {
+		t.Errorf("resume of last periodic snapshot diverged\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestRunCheckpointedInterruptResume interrupts a run via the stop
+// channel, then resumes its final snapshot and requires the completed
+// fingerprint to equal the uninterrupted run's — the crash-recovery
+// contract end to end.
+func TestRunCheckpointedInterruptResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interrupt + resume")
+	}
+	t.Parallel()
+	r := ckRun(t, "dense-urban", rica.ProtocolBGCA, 0)
+	base, err := rica.SimulateScenario(r)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	stop := make(chan struct{})
+	close(stop) // "signal" arrives before the first boundary
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	_, interrupted, err := rica.RunCheckpointed(r, path, time.Second, stop)
+	if !interrupted {
+		t.Fatalf("RunCheckpointed with closed stop: interrupted=false err=%v", err)
+	}
+	if !errors.Is(err, rica.ErrInterrupted) {
+		t.Fatalf("interrupt error = %v, want ErrInterrupted", err)
+	}
+	resumed, err := rica.ResumeFile(path)
+	if err != nil {
+		t.Fatalf("ResumeFile after interrupt: %v", err)
+	}
+	if got, want := rica.Fingerprint(resumed), rica.Fingerprint(base); got != want {
+		t.Errorf("post-interrupt resume diverged\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestSimulateCheckpointed covers the SimConfig-shaped runs (the "sim"
+// descriptor kind, including telemetry reconstruction): interrupt, then
+// resume to the plain Simulate fingerprint.
+func TestSimulateCheckpointed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sim-kind interrupt + resume")
+	}
+	t.Parallel()
+	cfg := rica.SimConfig{
+		Protocol:     rica.ProtocolAODV,
+		MeanSpeedKmh: 36,
+		Rate:         10,
+		Duration:     ckDuration,
+		Seed:         2,
+		Telemetry:    &rica.Telemetry{Interval: time.Second},
+	}
+	base := rica.Simulate(cfg)
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "sim.ckpt")
+	cfg.CheckpointEvery = 2 * time.Second
+	stop := make(chan struct{})
+	close(stop)
+	_, interrupted, err := rica.SimulateCheckpointed(cfg, stop)
+	if !interrupted || !errors.Is(err, rica.ErrInterrupted) {
+		t.Fatalf("SimulateCheckpointed: interrupted=%v err=%v", interrupted, err)
+	}
+	resumed, err := rica.ResumeFile(cfg.CheckpointPath)
+	if err != nil {
+		t.Fatalf("ResumeFile: %v", err)
+	}
+	if got, want := rica.Fingerprint(resumed), rica.Fingerprint(base); got != want {
+		t.Errorf("sim-kind resume diverged\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestResumeRejectsDamage flips single bytes across a valid snapshot
+// and truncates it at several prefixes: every damaged variant must fail
+// cleanly with ErrCheckpointCorrupt — never panic, never resume.
+func TestResumeRejectsDamage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("damage sweep over a real snapshot")
+	}
+	t.Parallel()
+	r := ckRun(t, "chain-10", rica.ProtocolABR, 0)
+	var buf bytes.Buffer
+	if err := rica.Checkpoint(r, time.Second, &buf); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	snap := buf.Bytes()
+	// Single-byte corruption at positions spread across the file.
+	for i := 0; i < len(snap); i += len(snap)/37 + 1 {
+		bad := append([]byte(nil), snap...)
+		bad[i] ^= 0x40
+		if _, err := rica.Resume(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("Resume accepted snapshot with byte %d flipped", i)
+		}
+	}
+	// Truncations, including an empty file.
+	for _, n := range []int{0, 3, 8, 20, len(snap) / 2, len(snap) - 1} {
+		if _, err := rica.Resume(bytes.NewReader(snap[:n])); !errors.Is(err, rica.ErrCheckpointCorrupt) {
+			t.Fatalf("Resume of %d-byte truncation: err = %v, want ErrCheckpointCorrupt", n, err)
+		}
+	}
+	// Trailing garbage after a valid file.
+	if _, err := rica.Resume(bytes.NewReader(append(append([]byte(nil), snap...), 0xEE))); !errors.Is(err, rica.ErrCheckpointCorrupt) {
+		t.Fatalf("Resume with trailing byte: err = %v, want ErrCheckpointCorrupt", err)
+	}
+}

@@ -22,18 +22,29 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"rica"
+)
+
+// Exit statuses: 0 success, 1 error, exitInterrupted when a signal (or
+// a second one, forcing) cut the work short — so schedulers and CI can
+// tell "failed" from "stopped early, resume me".
+const (
+	exitCodeInterrupted = 3
+	exitCodeForced      = 130
 )
 
 func main() {
@@ -60,6 +71,10 @@ func main() {
 		stats       = flag.Duration("stats", 0, "emit a live counter heartbeat to stderr at this period (scenario batches; 0 disables)")
 		statsAddr   = flag.String("statsaddr", "", "serve live stats over HTTP on this address (GET /stats.json, /metrics)")
 		obsOut      = flag.String("obs", "", "write the end-of-process observability snapshot (counters + pool stats) to this JSON file")
+		ckptPath    = flag.String("checkpoint", "", "run a single -scenario cell writing periodic crash-safe snapshots to this file (atomic rename; resume with -resume); see docs/OPERATIONS.md")
+		ckptEvery   = flag.Duration("checkpoint-every", 10*time.Second, "virtual-time cadence between -checkpoint snapshots")
+		resumePath  = flag.String("resume", "", "resume a snapshot file: rebuild the run, replay to the capture instant, verify state byte-for-byte, run to the horizon")
+		manifest    = flag.String("manifest", "", "journal every finished -scenario batch cell to this append-only file (fsync'd per cell); re-running the same grid resumes from it")
 	)
 	flag.Parse()
 	meter.enabled = *eventsRate
@@ -80,6 +95,34 @@ func main() {
 	}
 	if *shards == 0 {
 		*shards = runtime.GOMAXPROCS(0)
+	}
+	if *ckptEvery <= 0 {
+		fatalf("-checkpoint-every must be positive, got %v", *ckptEvery)
+	}
+	if *resumePath != "" {
+		for _, bad := range []string{"figure", "scenario", "verify", "timeline", "out", "manifest", "list-scenarios"} {
+			if flagSet(bad) {
+				fatalf("-resume and -%s are mutually exclusive", bad)
+			}
+		}
+	}
+	if *ckptPath != "" && *resumePath == "" {
+		if *scenarios == "" {
+			fatalf("-checkpoint needs a -scenario cell to run (or -resume to continue one)")
+		}
+		for _, bad := range []string{"figure", "verify", "timeline", "out", "manifest"} {
+			if flagSet(bad) {
+				fatalf("-checkpoint and -%s are mutually exclusive", bad)
+			}
+		}
+	}
+	if *manifest != "" {
+		if *timeline != "" {
+			fatalf("-manifest and -timeline are mutually exclusive (timelines are not journaled)")
+		}
+		if *verify {
+			fatalf("-manifest and -verify are mutually exclusive")
+		}
 	}
 	var hub *rica.ObsHub
 	if *stats > 0 || *statsAddr != "" || *obsOut != "" {
@@ -150,7 +193,7 @@ func main() {
 	}
 	defer func() {
 		runExitHooks()
-		if profileFailed {
+		if exitFailed {
 			os.Exit(1)
 		}
 	}()
@@ -165,6 +208,12 @@ func main() {
 	if *verify && *scenarios == "" {
 		fatalf("-verify needs -scenario cells to check")
 	}
+	if *resumePath != "" {
+		if runResume(*resumePath, *ckptPath, *ckptEvery, installStopSignal()) {
+			exitCutShort()
+		}
+		return
+	}
 	if *scenarios != "" {
 		if flagSet("figure") {
 			fatalf("-figure and -scenario are mutually exclusive")
@@ -177,8 +226,18 @@ func main() {
 			runVerify(*scenarios, *protocols, *seed, *shards, maxDur)
 			return
 		}
-		runBatch(*scenarios, *protocols, *trials, *seed, *parallelism, *shards,
-			*duration, *format, *out, *timeline, *interval, *streaming, hub)
+		if *ckptPath != "" {
+			if runCheckpointed(*scenarios, *protocols, *seed, *shards, *duration, flagSet("duration"),
+				*ckptPath, *ckptEvery, installStopSignal()) {
+				exitCutShort()
+			}
+			return
+		}
+		if runBatch(*scenarios, *protocols, *trials, *seed, *parallelism, *shards,
+			*duration, *format, *out, *timeline, *interval, *streaming, *manifest, hub,
+			installStopSignal()) {
+			exitCutShort()
+		}
 		return
 	}
 
@@ -301,6 +360,121 @@ func main() {
 	}
 }
 
+// installStopSignal arms graceful interruption for modes that support
+// it: the first SIGINT/SIGTERM closes the returned channel (in-flight
+// work drains, buffers flush, a final snapshot or journal line lands,
+// and the process exits with the distinct interrupted status); a second
+// signal forces an immediate exit.
+func installStopSignal() chan struct{} {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "ricasim: interrupt — draining in-flight work and flushing output; interrupt again to force exit")
+		close(stop)
+		<-sig
+		fmt.Fprintln(os.Stderr, "ricasim: forced exit")
+		os.Exit(exitCodeForced)
+	}()
+	return stop
+}
+
+// exitCutShort finishes the exit hooks (profiles, -obs) and the
+// throughput summary, then leaves with the interrupted status so
+// callers know the output is partial and a snapshot or manifest can
+// resume the work.
+func exitCutShort() {
+	runExitHooks()
+	meter.print()
+	if exitFailed {
+		os.Exit(1)
+	}
+	os.Exit(exitCodeInterrupted)
+}
+
+// loadSpec resolves one -scenario element: a catalog name or a path to
+// a JSON spec file.
+func loadSpec(part string) rica.Scenario {
+	part = strings.TrimSpace(part)
+	var (
+		spec rica.Scenario
+		err  error
+	)
+	if strings.HasSuffix(part, ".json") {
+		spec, err = rica.LoadScenario(part)
+	} else {
+		spec, err = rica.ScenarioByName(part)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return spec
+}
+
+// runCheckpointed executes one scenario × protocol cell under the
+// periodic-snapshot regime. Returns true when the run was interrupted
+// (the final snapshot resumes it).
+func runCheckpointed(scenarioArg, protocols string, seed int64, shards int,
+	duration time.Duration, durationSet bool, path string, every time.Duration,
+	stop <-chan struct{}) bool {
+	if strings.Contains(scenarioArg, ",") {
+		fatalf("-checkpoint runs a single scenario; got %q", scenarioArg)
+	}
+	protos := parseProtocols(protocols)
+	if len(protos) != 1 {
+		fatalf("-checkpoint runs a single cell: pass -protocols with exactly one name")
+	}
+	spec := loadSpec(scenarioArg)
+	if durationSet {
+		spec.Duration = rica.ScenarioDuration(duration)
+	}
+	if n := spec.Topology.NodeCount(); shards > n {
+		fatalf("-shards %d exceeds scenario %s's %d nodes", shards, spec.Name, n)
+	}
+	r := rica.ScenarioRun{Scenario: spec, Protocol: protos[0], Seed: seed, Shards: shards}
+	s, interrupted, err := rica.RunCheckpointed(r, path, every, stop)
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "ricasim: interrupted — resume with: ricasim -resume %s\n", path)
+		return true
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printRunResult(s)
+	return false
+}
+
+// runResume continues a snapshot to its horizon (optionally still
+// checkpointing). Returns true when interrupted again.
+func runResume(path, ckpt string, every time.Duration, stop <-chan struct{}) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("-resume: %v", err)
+	}
+	defer f.Close()
+	s, interrupted, err := rica.ResumeCheckpointed(f, ckpt, every, stop)
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "ricasim: interrupted again before the horizon")
+		return true
+	}
+	if err != nil {
+		fatalf("-resume: %v", err)
+	}
+	printRunResult(s)
+	return false
+}
+
+// printRunResult emits a single checkpointed/resumed run's summary. The
+// fingerprint line is the contract CI's kill-and-resume job diffs: a
+// resumed run must print the exact line the uninterrupted run prints.
+func printRunResult(s rica.Summary) {
+	meter.events += s.Events
+	fmt.Printf("fingerprint: %s\n", rica.Fingerprint(s))
+	fmt.Printf("gen=%d del=%d delivery=%.1f%% avg-delay=%v events=%d\n",
+		s.Generated, s.Delivered, s.DeliveryRatio*100, s.AvgDelay, s.Events)
+}
+
 // listScenarios prints the built-in catalog.
 func listScenarios() {
 	fmt.Printf("%-16s%7s%10s  %s\n", "name", "nodes", "duration", "description")
@@ -325,19 +499,7 @@ func runVerify(list, protocols string, seed int64, shards int, maxDur time.Durat
 	}
 	failed := false
 	for _, part := range strings.Split(list, ",") {
-		part = strings.TrimSpace(part)
-		var (
-			spec rica.Scenario
-			err  error
-		)
-		if strings.HasSuffix(part, ".json") {
-			spec, err = rica.LoadScenario(part)
-		} else {
-			spec, err = rica.ScenarioByName(part)
-		}
-		if err != nil {
-			fatalf("%v", err)
-		}
+		spec := loadSpec(part)
 		for _, p := range protos {
 			s, err := rica.VerifyScenario(rica.ScenarioRun{
 				Scenario: spec, Protocol: p, Seed: seed,
@@ -360,10 +522,13 @@ func runVerify(list, protocols string, seed int64, shards int, maxDur time.Durat
 }
 
 // runBatch executes the scenario × protocol × seed grid and writes the
-// results in the requested format.
+// results in the requested format. Returns true when the grid was
+// interrupted: the partial results and telemetry still flush (and the
+// manifest, when set, journals every finished cell for resume), but the
+// process must exit with the interrupted status.
 func runBatch(list, protocols string, trials int, seed int64, parallelism, shards int,
 	duration time.Duration, format, out, timeline string, interval time.Duration,
-	streaming bool, hub *rica.ObsHub) {
+	streaming bool, manifest string, hub *rica.ObsHub, stop <-chan struct{}) bool {
 	durationSet := flagSet("duration")
 	outFormat := ""
 	if out != "" {
@@ -376,6 +541,8 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism, shard
 		Workers:  parallelism,
 		Shards:   shards,
 		Hub:      hub,
+		Manifest: manifest,
+		Stop:     stop,
 		OnProgress: func(p rica.BatchProgress) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s seed=%d delivery=%.1f%%\n",
 				p.Done, p.Total, p.Cell.Scenario, p.Cell.Protocol, p.Cell.Seed, p.Cell.DeliveryPct)
@@ -406,19 +573,7 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism, shard
 		cfg.Telemetry = &rica.BatchTelemetry{Interval: interval, Sink: sink, Streaming: streaming}
 	}
 	for _, part := range strings.Split(list, ",") {
-		part = strings.TrimSpace(part)
-		var (
-			spec rica.Scenario
-			err  error
-		)
-		if strings.HasSuffix(part, ".json") {
-			spec, err = rica.LoadScenario(part)
-		} else {
-			spec, err = rica.ScenarioByName(part)
-		}
-		if err != nil {
-			fatalf("%v", err)
-		}
+		spec := loadSpec(part)
 		if durationSet {
 			spec.Duration = rica.ScenarioDuration(duration)
 		}
@@ -440,12 +595,22 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism, shard
 	}
 
 	res, err := rica.RunBatch(cfg)
-	if err != nil {
+	interrupted := errors.Is(err, rica.ErrBatchInterrupted)
+	if err != nil && !interrupted {
 		fatalf("%v", err)
+	}
+	if res.Restored > 0 {
+		fmt.Fprintf(os.Stderr, "manifest: restored %d of %d cells from %s\n",
+			res.Restored, len(res.Cells), manifest)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "ricasim: interrupted — flushing partial results")
 	}
 	for _, c := range res.Cells {
 		meter.events += c.Events
 	}
+	// Flush even when interrupted: the whole point of a graceful stop is
+	// that buffered timeline and result bytes reach disk.
 	if timelineFile != nil {
 		err := timelineBuf.Flush()
 		if cerr := timelineFile.Close(); err == nil {
@@ -455,6 +620,10 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism, shard
 			fatalf("writing %s: %v", timeline, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", timeline)
+	}
+	if res.Poisoned > 0 {
+		fmt.Fprintf(os.Stderr, "ricasim: %d poisoned cell(s) — quarantined, see their error/stack fields in the results\n", res.Poisoned)
+		exitFailed = true // non-zero exit after output is written
 	}
 
 	if outFile != nil {
@@ -471,7 +640,7 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism, shard
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 		fmt.Print(res.Table())
-		return
+		return interrupted
 	}
 	switch format {
 	case "json":
@@ -485,6 +654,7 @@ func runBatch(list, protocols string, trials int, seed int64, parallelism, shard
 	default:
 		fmt.Print(res.Table())
 	}
+	return interrupted
 }
 
 // flagSet reports whether the named flag was given explicitly.
@@ -612,14 +782,15 @@ func (m *eventMeter) print() {
 // a profiled run still leaves valid, closed profile files behind.
 var exitHooks []func()
 
-// profileFailed records a profile-write error observed by an exit hook;
-// main converts it into exit status 1 after all hooks have run (hooks
-// must not call fatalf — it would re-enter them).
-var profileFailed bool
+// exitFailed records a late failure (a profile-write error from an exit
+// hook, or poisoned batch cells) that must surface as exit status 1
+// after all output has been written (hooks must not call fatalf — it
+// would re-enter them).
+var exitFailed bool
 
 func profileErrf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ricasim: "+format+"\n", args...)
-	profileFailed = true
+	exitFailed = true
 }
 
 func runExitHooks() {

@@ -9,8 +9,10 @@
 package batch
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -62,7 +64,35 @@ type Config struct {
 	// the grid executes. Purely additive: per-cell snapshots stay exactly
 	// as deterministic as without a hub.
 	Hub *obs.Hub
+	// CellTimeout, when positive, bounds each cell's wall-clock runtime.
+	// A cell that exceeds it is retried (the attempt's goroutine is
+	// abandoned) up to CellRetries more times with exponential backoff;
+	// if every attempt times out the cell is quarantined as poisoned
+	// (CellResult.Error set) and the rest of the grid keeps running.
+	CellTimeout time.Duration
+	// CellRetries caps extra attempts after a timeout: 0 means the
+	// default (2), negative disables retries. Panics are never retried —
+	// cells are deterministic, so a run that panicked once panics again;
+	// the cell is quarantined immediately with its stack.
+	CellRetries int
+	// Manifest, when set, journals every finished cell to this
+	// append-only JSON-Lines file, fsync'd per line. Re-running the same
+	// grid with the same manifest path resumes it: journaled cells are
+	// restored verbatim instead of recomputed, so a killed batch loses
+	// at most the cells that were in flight. A manifest written by a
+	// different grid is rejected. Mutually exclusive with Telemetry
+	// (timelines are not journaled).
+	Manifest string
+	// Stop, when non-nil, ends the batch gracefully when closed: no new
+	// cells start, in-flight cells finish (and are journaled), and Run
+	// returns the partial result with an error wrapping ErrInterrupted.
+	Stop <-chan struct{}
 }
+
+// ErrInterrupted is wrapped by Run's error when Config.Stop ended the
+// batch before every cell ran. The returned Result holds every cell
+// that did finish; with a manifest, re-running resumes from them.
+var ErrInterrupted = errors.New("batch: interrupted")
 
 // Telemetry configures per-cell timeline collection for a batch.
 type Telemetry struct {
@@ -102,7 +132,16 @@ type CellResult struct {
 	// it is deterministic per seed (the process-global pool stats are
 	// deliberately excluded), so it exports byte-identically too.
 	Obs *obs.Snapshot `json:"obs,omitempty"`
+	// Error marks a poisoned cell: its run panicked or timed out and was
+	// quarantined so the rest of the grid could finish. Poisoned cells
+	// carry no measurements and are excluded from aggregates.
+	Error string `json:"error,omitempty"`
+	// Stack is the recovered panic's stack trace (panic poisoning only).
+	Stack string `json:"stack,omitempty"`
 }
+
+// Poisoned reports whether the cell was quarantined instead of measured.
+func (c CellResult) Poisoned() bool { return c.Error != "" }
 
 // Stat is one metric's cross-trial distribution snapshot.
 type Stat struct {
@@ -128,6 +167,10 @@ type Result struct {
 	Trials     int          `json:"trials"`
 	Cells      []CellResult `json:"cells"`
 	Aggregates []Aggregate  `json:"aggregates"`
+	// Restored counts cells replayed from the manifest journal instead
+	// of recomputed; Poisoned counts quarantined cells.
+	Restored int `json:"restored,omitempty"`
+	Poisoned int `json:"poisoned,omitempty"`
 }
 
 // cell is one expanded grid point.
@@ -146,6 +189,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.Telemetry != nil && cfg.Telemetry.Sink == nil {
 		return Result{}, fmt.Errorf("batch: Telemetry needs a Sink")
+	}
+	if cfg.Manifest != "" && cfg.Telemetry != nil {
+		return Result{}, fmt.Errorf("batch: Manifest and Telemetry are mutually exclusive (timelines are not journaled)")
 	}
 	protocols := cfg.Protocols
 	if len(protocols) == 0 {
@@ -183,7 +229,21 @@ func Run(cfg Config) (Result, error) {
 		workers = len(cells)
 	}
 
+	// Open the manifest journal (when configured) and restore every cell
+	// a previous run of this exact grid already journaled.
+	var man *manifest
+	restoredCells := map[int]CellResult{}
+	if cfg.Manifest != "" {
+		var err error
+		man, restoredCells, err = openManifest(cfg.Manifest, gridSignature(cells, baseSeed, trials, cfg.Shards), len(cells))
+		if err != nil {
+			return Result{}, err
+		}
+		defer man.Close()
+	}
+
 	results := make([]CellResult, len(cells))
+	finished := make([]bool, len(cells)) // distinct indices per worker; read after wg.Wait
 	var timelines []timeseries.Timeline
 	if cfg.Telemetry != nil {
 		timelines = make([]timeseries.Timeline, len(cells))
@@ -193,7 +253,17 @@ func Run(cfg Config) (Result, error) {
 		wg       sync.WaitGroup
 		progress sync.Mutex
 		done     int
+		manErr   error
 	)
+	report := func(i int) {
+		if cfg.OnProgress == nil {
+			return
+		}
+		progress.Lock()
+		done++
+		cfg.OnProgress(Progress{Done: done, Total: len(cells), Cell: results[i]})
+		progress.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -203,40 +273,179 @@ func Run(cfg Config) (Result, error) {
 				if timelines != nil {
 					tl = &timelines[i]
 				}
-				results[i] = runCell(cells[i], &cfg, tl)
-				if cfg.OnProgress != nil {
-					progress.Lock()
-					done++
-					cfg.OnProgress(Progress{Done: done, Total: len(cells), Cell: results[i]})
-					progress.Unlock()
+				results[i] = runCellResilient(cells[i], &cfg, tl)
+				finished[i] = true
+				if man != nil {
+					if err := man.record(i, results[i]); err != nil {
+						progress.Lock()
+						if manErr == nil {
+							manErr = err
+						}
+						progress.Unlock()
+					}
 				}
+				report(i)
 			}
 		}()
 	}
+	for i, rc := range restoredCells {
+		results[i] = rc
+		finished[i] = true
+		report(i)
+	}
+	stopped := func() bool {
+		select {
+		case <-cfg.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+	interrupted := false
 	for i := range cells {
+		if _, ok := restoredCells[i]; ok {
+			continue
+		}
+		if stopped() {
+			interrupted = true
+			break
+		}
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
 
+	res := Result{
+		BaseSeed: baseSeed,
+		Trials:   trials,
+		Cells:    results,
+		Restored: len(restoredCells),
+	}
+	for _, c := range results {
+		if c.Poisoned() {
+			res.Poisoned++
+		}
+	}
+	if manErr != nil {
+		return res, fmt.Errorf("batch: manifest journal: %w", manErr)
+	}
 	// Telemetry drains serially in grid order: each cell collected into
 	// its own collector, so the emitted byte stream is independent of how
-	// many workers ran or in what order cells finished.
+	// many workers ran or in what order cells finished. An interrupted
+	// batch emits the contiguous finished prefix — a deterministic prefix
+	// of the uninterrupted batch's stream — rather than dropping it.
 	if cfg.Telemetry != nil {
 		for i, c := range cells {
+			if !finished[i] {
+				break
+			}
 			run := timeseries.Run{Scenario: c.spec.Name, Protocol: c.protocol.String(), Seed: c.seed}
 			if err := cfg.Telemetry.Sink.Emit(run, timelines[i]); err != nil {
-				return Result{}, fmt.Errorf("batch: telemetry sink: %w", err)
+				return res, fmt.Errorf("batch: telemetry sink: %w", err)
 			}
 		}
 	}
+	if interrupted {
+		// Partial result: every finished cell is present (and journaled);
+		// aggregates over a half-run grid would mislead, so they stay empty.
+		return res, fmt.Errorf("%w: stopped before the grid completed", ErrInterrupted)
+	}
 
-	return Result{
-		BaseSeed:   baseSeed,
-		Trials:     trials,
-		Cells:      results,
-		Aggregates: aggregate(results, len(cfg.Scenarios), len(protocols), trials),
-	}, nil
+	res.Aggregates = aggregate(results, len(cfg.Scenarios), len(protocols), trials)
+	return res, nil
+}
+
+// testCellHook, when non-nil, runs at the top of every cell attempt —
+// the tests' injection point for panics and stalls. Never set outside
+// tests.
+var testCellHook func(scenarioName string, protocol experiment.Protocol, seed int64)
+
+// runCellResilient executes one cell under the crash shield: panics are
+// quarantined immediately (deterministic cells panic again on retry),
+// wall-clock timeouts are retried with exponential backoff up to the
+// configured attempt budget, then quarantined.
+func runCellResilient(c cell, cfg *Config, tl *timeseries.Timeline) CellResult {
+	retries := cfg.CellRetries
+	switch {
+	case retries == 0:
+		retries = 2
+	case retries < 0:
+		retries = 0
+	}
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		res, timedOut := runCellAttempt(c, cfg, tl)
+		if !timedOut {
+			return res
+		}
+		if attempt >= retries {
+			return poisonCell(c, fmt.Sprintf("timed out after %d attempt(s) of %v", attempt+1, cfg.CellTimeout), "")
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// runCellAttempt is one supervised try: the simulation runs in its own
+// goroutine reporting through a buffered channel, so when the deadline
+// fires the supervisor walks away and the abandoned attempt (which
+// cannot be killed) parks its late result harmlessly in the buffer. The
+// timeline lands in an attempt-local variable and is only copied out on
+// success, keeping abandoned attempts from scribbling into shared rows.
+func runCellAttempt(c cell, cfg *Config, tl *timeseries.Timeline) (CellResult, bool) {
+	type outcome struct {
+		res CellResult
+		tl  timeseries.Timeline
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{res: poisonCell(c, fmt.Sprintf("panic: %v", r), string(debug.Stack()))}
+			}
+		}()
+		if testCellHook != nil {
+			testCellHook(c.spec.Name, c.protocol, c.seed)
+		}
+		var local timeseries.Timeline
+		var lp *timeseries.Timeline
+		if tl != nil {
+			lp = &local
+		}
+		ch <- outcome{res: runCell(c, cfg, lp), tl: local}
+	}()
+	deliver := func(o outcome) (CellResult, bool) {
+		if tl != nil {
+			*tl = o.tl
+		}
+		return o.res, false
+	}
+	if cfg.CellTimeout <= 0 {
+		return deliver(<-ch)
+	}
+	timer := time.NewTimer(cfg.CellTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return deliver(o)
+	case <-timer.C:
+		return CellResult{}, true
+	}
+}
+
+// poisonCell builds the quarantine row for a cell that could not be
+// measured: grid coordinates for attribution, the failure, and (for
+// panics) the stack.
+func poisonCell(c cell, reason, stack string) CellResult {
+	return CellResult{
+		Scenario: c.spec.Name,
+		Protocol: c.protocol.String(),
+		Seed:     c.seed,
+		Error:    reason,
+		Stack:    stack,
+	}
 }
 
 // runCell executes one fully deterministic simulation; when telemetry is
@@ -281,20 +490,29 @@ func runCell(c cell, cfg *Config, tl *timeseries.Timeline) CellResult {
 }
 
 // aggregate folds the grid-ordered cell rows into per-(scenario,
-// protocol) statistics.
+// protocol) statistics. Poisoned cells carry no measurements, so they
+// are excluded and the group's Trials reports the healthy count.
 func aggregate(cells []CellResult, nScenarios, nProtocols, trials int) []Aggregate {
 	out := make([]Aggregate, 0, nScenarios*nProtocols)
 	for g := 0; g+trials <= len(cells); g += trials {
 		group := cells[g : g+trials]
+		var healthy []CellResult
+		for _, c := range group {
+			if !c.Poisoned() {
+				healthy = append(healthy, c)
+			}
+		}
 		a := Aggregate{
 			Scenario: group[0].Scenario,
 			Protocol: group[0].Protocol,
-			Trials:   trials,
+			Trials:   len(healthy),
 		}
-		a.DeliveryPct = stat(group, func(c CellResult) float64 { return c.DeliveryPct })
-		a.AvgDelayMs = stat(group, func(c CellResult) float64 { return c.AvgDelayMs })
-		a.OverheadKbps = stat(group, func(c CellResult) float64 { return c.OverheadKbps })
-		a.GoodputKbps = stat(group, func(c CellResult) float64 { return c.GoodputKbps })
+		if len(healthy) > 0 {
+			a.DeliveryPct = stat(healthy, func(c CellResult) float64 { return c.DeliveryPct })
+			a.AvgDelayMs = stat(healthy, func(c CellResult) float64 { return c.AvgDelayMs })
+			a.OverheadKbps = stat(healthy, func(c CellResult) float64 { return c.OverheadKbps })
+			a.GoodputKbps = stat(healthy, func(c CellResult) float64 { return c.GoodputKbps })
+		}
 		out = append(out, a)
 	}
 	return out

@@ -203,3 +203,25 @@ func (l *Link) upgradeBoundary(c Class) float64 {
 		return -1e9 // class D has no lower boundary
 	}
 }
+
+// LinkState is the serializable fading state of one pair: the AR(1)
+// shadowing/fading processes, the advance clock, and the quantizer's
+// hysteresis memory. The path-loss memo (lastD/lastPathLoss) is
+// included too — it is deterministic derived state, and including it
+// makes checkpoint verification strict about the memo staying bit-exact.
+type LinkState struct {
+	Last                time.Duration
+	Shadow, FI, FQ      float64
+	LastClass           Class
+	LastD, LastPathLoss float64
+}
+
+// ExportState observes the link without advancing it.
+func (l *Link) ExportState() LinkState {
+	return LinkState{
+		Last:   l.last,
+		Shadow: l.shadow, FI: l.fi, FQ: l.fq,
+		LastClass: l.lastClass,
+		LastD:     l.lastD, LastPathLoss: l.lastPathLoss,
+	}
+}

@@ -237,3 +237,14 @@ func (m *Model) Position(i int, at time.Duration) geom.Point {
 	s := m.sync(at)
 	return m.positionAt(s, i, at)
 }
+
+// EachLink visits every lazily-created link in triangular index order
+// (uncreated pairs are skipped), without advancing any of them. The
+// checkpoint capture serializes link states in exactly this order.
+func (m *Model) EachLink(fn func(idx int, st LinkState)) {
+	for idx, l := range m.links {
+		if l != nil {
+			fn(idx, l.ExportState())
+		}
+	}
+}

@@ -1,0 +1,380 @@
+// Package checkpoint defines the on-disk snapshot format for
+// checkpoint/resume: a versioned, self-describing container of tagged
+// binary sections, each integrity-checked with a CRC, closed by a tail
+// record protecting the whole file.
+//
+// The format is deliberately dumb: it knows nothing about simulations.
+// Section payloads are produced by the world layer (see
+// world.World.CaptureState) and interpreted by the resume path in the
+// public rica package; this package only guarantees that what was
+// written is what is read — a truncated, bit-flipped, or
+// version-skewed file fails with a clean error, never a panic and
+// never a silent partial decode.
+//
+// Layout (all integers little-endian):
+//
+//	magic   [8]byte  "RICACKP1"            format name + version
+//	section: tag [4]byte | len uint32 | payload [len]byte | crc32 uint32
+//	...                                    (one or more sections)
+//	tail:    tag "TAIL" | len 8 | count uint32, filecrc uint32 | crc32
+//
+// The per-section CRC (IEEE) covers the payload; the tail's filecrc
+// covers every byte from the magic through the last ordinary section's
+// CRC, so reordering, dropping, or duplicating whole (individually
+// valid) sections is also detected. Unknown tags are preserved and
+// skipped by readers — a newer writer may add sections without breaking
+// an older reader's ability to reject or inspect the file. The magic
+// string carries the format version: any incompatible change to the
+// container or to a section payload's encoding bumps "RICACKP1" to
+// "RICACKP2", and old readers reject new files outright (and vice
+// versa) instead of mis-restoring.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+)
+
+// Magic identifies the container format and its version.
+const Magic = "RICACKP1"
+
+// tailTag closes every file; it is not a user section.
+const tailTag = "TAIL"
+
+// Section tags written by the world capture (the resume path verifies a
+// fresh capture against these byte-for-byte). DESC and POOL are exempt
+// from verification: DESC is the run recipe itself, and POOL reports
+// process-global pool accounting that other concurrent runs perturb.
+const (
+	TagDesc = "DESC" // JSON run descriptor (see Descriptor)
+	TagKern = "KERN" // kernel clock, sequence counter, pending-event skeleton
+	TagRNGs = "RNGS" // every RNG stream's lagged-Fibonacci state, creation order
+	TagMobi = "MOBI" // per-terminal waypoint leg state
+	TagLink = "LINK" // per-pair fading link state, triangular index order
+	TagMACs = "MACS" // common-channel transmissions + data-plane exchanges
+	TagNode = "NODE" // per-terminal link-queue skeletons
+	TagTraf = "TRAF" // traffic generator and gossip workload state
+	TagTser = "TSER" // timeseries collector digest
+	TagObsC = "OBSC" // observability counter snapshot (JSON)
+	TagPool = "POOL" // process-global pooled-packet accounting (informational)
+)
+
+// Limits a strict reader enforces before trusting any length field.
+const (
+	// MaxSectionLen bounds one payload: the largest legitimate section
+	// (RNGS for a dense population) is a few tens of megabytes.
+	MaxSectionLen = 1 << 28
+	// maxSections bounds the section count; the writer emits ~11.
+	maxSections = 256
+)
+
+// Section is one tagged payload.
+type Section struct {
+	Tag     string
+	Payload []byte
+}
+
+// ErrCorrupt wraps every integrity failure, so callers can distinguish
+// "the file is damaged" from I/O errors with errors.Is.
+var ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Write emits the sections to w in order, framed and checksummed, and
+// closed with the tail record. Tags must be exactly 4 bytes.
+func Write(w io.Writer, sections []Section) error {
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(w, crc)
+	if _, err := io.WriteString(out, Magic); err != nil {
+		return err
+	}
+	for _, s := range sections {
+		if len(s.Tag) != 4 {
+			return fmt.Errorf("checkpoint: tag %q is not 4 bytes", s.Tag)
+		}
+		if s.Tag == tailTag {
+			return fmt.Errorf("checkpoint: %q is reserved", tailTag)
+		}
+		if len(s.Payload) > MaxSectionLen {
+			return fmt.Errorf("checkpoint: section %s exceeds %d bytes", s.Tag, MaxSectionLen)
+		}
+		if err := writeSection(out, s.Tag, s.Payload); err != nil {
+			return err
+		}
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint32(tail[0:], uint32(len(sections)))
+	binary.LittleEndian.PutUint32(tail[4:], crc.Sum32())
+	// The tail section goes to w only: its own CRC covers its payload,
+	// and the filecrc inside it covers everything before it.
+	return writeSection(w, tailTag, tail[:])
+}
+
+func writeSection(w io.Writer, tag string, payload []byte) error {
+	var hdr [8]byte
+	copy(hdr[:4], tag)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// Read parses a complete snapshot from r, verifying the magic, every
+// section CRC, and the tail's whole-file CRC. The returned sections are
+// in file order and exclude the tail. Any deviation — truncation, a
+// flipped bit, a foreign magic, an oversized length — returns an error
+// wrapping ErrCorrupt.
+func Read(r io.Reader) ([]Section, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+	var magic [8]byte
+	if _, err := io.ReadFull(tr, magic[:]); err != nil {
+		return nil, corruptf("short magic: %v", err)
+	}
+	if string(magic[:]) != Magic {
+		return nil, corruptf("bad magic %q (want %q; incompatible version?)", magic[:], Magic)
+	}
+	var sections []Section
+	for {
+		fileCRC := crc.Sum32() // CRC of everything before this section
+		var hdr [8]byte
+		if _, err := io.ReadFull(tr, hdr[:]); err != nil {
+			return nil, corruptf("short section header: %v", err)
+		}
+		tag := string(hdr[:4])
+		n := binary.LittleEndian.Uint32(hdr[4:])
+		if n > MaxSectionLen {
+			return nil, corruptf("section %q claims %d bytes (max %d)", tag, n, MaxSectionLen)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(tr, payload); err != nil {
+			return nil, corruptf("section %q truncated: %v", tag, err)
+		}
+		var sum [4]byte
+		if _, err := io.ReadFull(tr, sum[:]); err != nil {
+			return nil, corruptf("section %q missing checksum: %v", tag, err)
+		}
+		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(sum[:]); got != want {
+			return nil, corruptf("section %q checksum mismatch", tag)
+		}
+		if tag == tailTag {
+			if len(payload) != 8 {
+				return nil, corruptf("tail payload is %d bytes, want 8", len(payload))
+			}
+			count := binary.LittleEndian.Uint32(payload[0:])
+			want := binary.LittleEndian.Uint32(payload[4:])
+			if int(count) != len(sections) {
+				return nil, corruptf("tail records %d sections, file has %d", count, len(sections))
+			}
+			if fileCRC != want {
+				return nil, corruptf("whole-file checksum mismatch")
+			}
+			// Nothing may follow the tail.
+			var extra [1]byte
+			if _, err := r.Read(extra[:]); err != io.EOF {
+				return nil, corruptf("trailing data after tail")
+			}
+			return sections, nil
+		}
+		if len(sections) >= maxSections {
+			return nil, corruptf("more than %d sections", maxSections)
+		}
+		sections = append(sections, Section{Tag: tag, Payload: payload})
+	}
+}
+
+// Find returns the first section with the given tag, or nil.
+func Find(sections []Section, tag string) []byte {
+	for _, s := range sections {
+		if s.Tag == tag {
+			return s.Payload
+		}
+	}
+	return nil
+}
+
+// Descriptor is the JSON run recipe embedded in every snapshot (the
+// DESC section): everything needed to rebuild the identical world in a
+// fresh process and replay it to the capture instant. Durations are
+// nanoseconds so the JSON stays integer-exact.
+type Descriptor struct {
+	// Kind discriminates the run recipe: "scenario" (a declarative
+	// scenario spec) or "sim" (a SimConfig-shaped parameter set).
+	Kind string `json:"kind"`
+	// AtNs is the virtual instant the state sections were captured at.
+	AtNs int64 `json:"at_ns"`
+	// HorizonNs is the run's full horizon; resume continues to it.
+	HorizonNs int64 `json:"horizon_ns"`
+	// Protocol names the routing protocol under test.
+	Protocol string `json:"protocol"`
+	// Seed, SeedZero, Shards and MaxDurationNs mirror the fields of
+	// rica.ScenarioRun / rica.SimConfig they came from.
+	Seed          int64 `json:"seed,omitempty"`
+	SeedZero      bool  `json:"seed_zero,omitempty"`
+	Shards        int   `json:"shards,omitempty"`
+	MaxDurationNs int64 `json:"max_duration_ns,omitempty"`
+	// Scenario is the validated scenario spec, verbatim (kind "scenario").
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+	// Sim carries the single-run parameters (kind "sim").
+	Sim *SimParams `json:"sim,omitempty"`
+	// Telemetry, when non-nil, re-enables timeline collection on resume
+	// with the same interval and percentile path.
+	Telemetry *TelemetryParams `json:"telemetry,omitempty"`
+}
+
+// SimParams is the serializable subset of rica.SimConfig.
+type SimParams struct {
+	MeanSpeedKmh float64 `json:"mean_speed_kmh"`
+	Rate         float64 `json:"rate"`
+	DurationNs   int64   `json:"duration_ns,omitempty"`
+	BufferCap    int     `json:"buffer_cap,omitempty"`
+	// Flows is the pinned workload as JSON, when the run set one.
+	Flows json.RawMessage `json:"flows,omitempty"`
+}
+
+// TelemetryParams records a run's timeline collection settings.
+type TelemetryParams struct {
+	IntervalNs int64 `json:"interval_ns,omitempty"`
+	Streaming  bool  `json:"streaming,omitempty"`
+}
+
+// EncodeDescriptor renders d as the DESC payload.
+func EncodeDescriptor(d Descriptor) ([]byte, error) { return json.Marshal(d) }
+
+// DecodeDescriptor parses and sanity-checks a DESC payload.
+func DecodeDescriptor(payload []byte) (Descriptor, error) {
+	var d Descriptor
+	if payload == nil {
+		return d, corruptf("missing %s section", TagDesc)
+	}
+	if err := json.Unmarshal(payload, &d); err != nil {
+		return d, corruptf("descriptor: %v", err)
+	}
+	switch d.Kind {
+	case "scenario", "sim":
+	default:
+		return d, corruptf("descriptor kind %q unknown", d.Kind)
+	}
+	if d.AtNs < 0 || d.HorizonNs < 0 || d.AtNs > d.HorizonNs {
+		return d, corruptf("descriptor instant %dns outside horizon %dns", d.AtNs, d.HorizonNs)
+	}
+	if d.Protocol == "" {
+		return d, corruptf("descriptor names no protocol")
+	}
+	return d, nil
+}
+
+// Enc is a little-endian append-only encoder for section payloads. All
+// captures go through it so payload bytes are a pure function of the
+// captured values — the resume path compares payloads byte-for-byte.
+type Enc struct{ buf []byte }
+
+// Bytes returns the encoded payload.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// U32 appends a uint32.
+func (e *Enc) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a uint64.
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends an int64.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as int64.
+func (e *Enc) Int(v int) { e.I64(int64(v)) }
+
+// Dur appends a time.Duration as nanoseconds.
+func (e *Enc) Dur(v time.Duration) { e.I64(int64(v)) }
+
+// F64 appends a float64 by bit pattern (exact, no formatting).
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a bool as one byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Dec is the matching bounds-checked decoder. After any short read it
+// latches an error and returns zeros; check Err once at the end.
+type Dec struct {
+	b   []byte
+	err error
+}
+
+// NewDec wraps a payload for decoding.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Err reports the first decode failure, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Len reports the unread byte count.
+func (d *Dec) Len() int { return len(d.b) }
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.err = corruptf("payload truncated (want %d bytes, have %d)", n, len(d.b))
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+// U32 reads a uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int encoded as int64.
+func (d *Dec) Int() int { return int(d.I64()) }
+
+// Dur reads a time.Duration.
+func (d *Dec) Dur() time.Duration { return time.Duration(d.I64()) }
+
+// F64 reads a float64 by bit pattern.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads a one-byte bool.
+func (d *Dec) Bool() bool {
+	b := d.take(1)
+	return b != nil && b[0] != 0
+}

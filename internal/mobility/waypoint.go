@@ -227,3 +227,24 @@ func KmhToMs(kmh float64) float64 { return kmh / 3.6 }
 
 // MsToKmh converts m/s to km/h.
 func MsToKmh(ms float64) float64 { return ms * 3.6 }
+
+// LegState is the serializable state of a trajectory: the current leg's
+// endpoints and times. Together with the node's RNG stream state it
+// pins the entire future of the trajectory, and checkpoint verification
+// compares it across processes.
+type LegState struct {
+	FromX, FromY   float64
+	ToX, ToY       float64
+	Depart, Arrive time.Duration
+}
+
+// ExportLeg observes the current leg without advancing the trajectory
+// (unlike Position, it never rolls legs forward, so capturing state is
+// guaranteed not to consume RNG draws).
+func (n *Node) ExportLeg() LegState {
+	return LegState{
+		FromX: n.from.X, FromY: n.from.Y,
+		ToX: n.to.X, ToY: n.to.Y,
+		Depart: n.depart, Arrive: n.arrive,
+	}
+}

@@ -522,3 +522,8 @@ func (c *Core) handleREER(pkt *packet.Packet, now time.Duration) {
 		c.StartQuery(pkt.Dst, packet.TypeRREQ, 0, now)
 	}
 }
+
+// ExportRoutes snapshots the core's route table (see Table.ExportEntries).
+// Protocol agents forward to it so the checkpoint capture can verify
+// route state without knowing each protocol's internals.
+func (c *Core) ExportRoutes() []Entry { return c.Table.ExportEntries() }

@@ -418,3 +418,7 @@ func (a *Agent) handleRUPD(pkt *packet.Packet, now time.Duration) {
 // has passed, packets parked behind route queries or jittered relays in
 // the shared core are silently released for exact pool-leak accounting.
 func (a *Agent) DrainPending() (data, control int) { return a.core.DrainPending() }
+
+// ExportRoutes snapshots the agent's route table for checkpoint
+// verification (see routing.Core.ExportRoutes).
+func (a *Agent) ExportRoutes() []routing.Entry { return a.core.ExportRoutes() }

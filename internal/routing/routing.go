@@ -6,6 +6,7 @@ package routing
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"rica/internal/network"
@@ -428,4 +429,24 @@ func (p *Pending) ReleaseAll() int {
 	}
 	p.items = nil
 	return n
+}
+
+// ExportEntries snapshots the table's entries — valid and invalidated
+// alike, idle expiry NOT lazily applied — in ascending destination
+// order. A pure read in deterministic order: the checkpoint capture
+// serializes route tables through it for cross-process verification.
+func (t *Table) ExportEntries() []Entry {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	dsts := make([]int, 0, len(t.entries))
+	for dst := range t.entries {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	out := make([]Entry, 0, len(dsts))
+	for _, dst := range dsts {
+		out = append(out, *t.entries[dst])
+	}
+	return out
 }

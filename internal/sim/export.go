@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"sort"
+	"time"
+)
+
+// This file is the kernel's checkpoint seam: read-only state exports
+// used to build (and verify) simulation snapshots. Exports are pure
+// observations — no counters move, no RNG draws, no cache fills — so
+// capturing at an instant boundary cannot perturb the run.
+
+// EventState is the serializable skeleton of one pending event. The
+// handler itself is a Go function value and cannot be serialized; the
+// skeleton pins the event's identity ((At, Seq) dispatch order), its
+// cancellation flag, and the closure-free path's arguments, which is
+// exactly what snapshot verification needs to prove two kernels hold
+// the same schedule.
+type EventState struct {
+	At        time.Duration
+	Seq       uint64
+	Cancelled bool
+	// Arg reports a closure-free (ScheduleArg) event; A0/A1 carry its
+	// arguments. Closure events have Arg false and zero A0/A1.
+	Arg    bool
+	A0, A1 int
+}
+
+// KernelState is a read-only snapshot of the scheduler: the clock, the
+// identity counters, and every queued event (lazily-cancelled entries
+// included) sorted into dispatch order.
+type KernelState struct {
+	Now      time.Duration
+	Seq      uint64
+	Executed uint64
+	Live     int
+	Events   []EventState
+}
+
+// ExportState snapshots the kernel. Safe only between dispatches (never
+// from inside a running handler's schedule churn).
+func (k *Kernel) ExportState() KernelState {
+	st := KernelState{
+		Now:      k.now,
+		Seq:      k.seq,
+		Executed: k.executed,
+		Live:     k.live,
+		Events:   make([]EventState, 0, k.queue.size()),
+	}
+	k.queue.each(func(ev *event) {
+		st.Events = append(st.Events, EventState{
+			At:        ev.at,
+			Seq:       ev.seq,
+			Cancelled: ev.cancelled,
+			Arg:       ev.afn != nil,
+			A0:        ev.a0,
+			A1:        ev.a1,
+		})
+	})
+	sort.Slice(st.Events, func(i, j int) bool {
+		a, b := &st.Events[i], &st.Events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Seq < b.Seq
+	})
+	return st
+}
+
+// each visits every queued event (both tiers, cancelled included) in
+// arbitrary order.
+func (q *eventQueue) each(fn func(*event)) {
+	for i := range q.slots {
+		for _, ev := range q.slots[i] {
+			fn(ev)
+		}
+	}
+	for _, ev := range q.far {
+		fn(ev)
+	}
+}
+
+// StreamState is the complete state of one RNG stream: the component id
+// it was created under and the lagged-Fibonacci generator's tap/feed
+// cursor and 607-word vector, exactly as math/rand's source holds them.
+type StreamState struct {
+	ID        uint64
+	Tap, Feed int
+	Vec       [rngLen]int64
+}
+
+// state observes the source without advancing it.
+func (s *fastSource) state() (tap, feed int, vec [rngLen]int64) {
+	return s.tap, s.feed, s.vec
+}

@@ -14,6 +14,21 @@ import "math/rand"
 //     comparisons run against identical mobility and fading sample paths.
 type Streams struct {
 	seed uint64
+
+	// recs records every created stream in creation order, each with its
+	// concrete source when the fast replica is in use. Creation order is
+	// deterministic (stream creation is itself simulation work), so the
+	// record doubles as the canonical iteration order for checkpoint
+	// capture. Sources created through the stock math/rand fallback are
+	// recorded with a nil src — their internal state is unreadable, and
+	// ExportStates reports the whole factory as unexportable.
+	recs []streamRec
+}
+
+// streamRec remembers one created stream.
+type streamRec struct {
+	id  uint64
+	src *fastSource // nil when the stock fallback source was used
 }
 
 // NewStreams returns a stream factory for the given trial seed.
@@ -30,7 +45,28 @@ func NewStreams(seed int64) *Streams {
 // passed — identical draws, a fraction of the seeding cost that
 // dominates lazy fading-link creation.
 func (s *Streams) Stream(id uint64) *rand.Rand {
-	return rand.New(newSource(int64(mix(s.seed, id))))
+	src := newSource(int64(mix(s.seed, id)))
+	fs, _ := src.(*fastSource)
+	s.recs = append(s.recs, streamRec{id: id, src: fs})
+	return rand.New(src)
+}
+
+// ExportStates snapshots every stream created so far, in creation
+// order, without advancing any of them. ok is false when any stream
+// rode the stock math/rand fallback (its state cannot be read) — the
+// caller should report checkpointing unsupported rather than write a
+// snapshot that cannot be verified.
+func (s *Streams) ExportStates() (states []StreamState, ok bool) {
+	states = make([]StreamState, 0, len(s.recs))
+	for _, rec := range s.recs {
+		if rec.src == nil {
+			return nil, false
+		}
+		st := StreamState{ID: rec.id}
+		st.Tap, st.Feed, st.Vec = rec.src.state()
+		states = append(states, st)
+	}
+	return states, true
 }
 
 // StreamAt is a convenience for two-part component identifiers, e.g.

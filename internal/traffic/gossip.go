@@ -163,3 +163,21 @@ func (p *pusher) tick(now time.Duration) {
 		g.kernel.Schedule(g.gap(), p.fire)
 	}
 }
+
+// GossipState is the serializable epidemic state: the infection count,
+// the rumor-payload id cursor, and the flattened infection bitmap
+// (rumor-major). Checkpoint verification compares it across processes.
+type GossipState struct {
+	Count    int
+	NextID   uint64
+	Infected []bool
+}
+
+// ExportState snapshots the epidemic without touching its RNG.
+func (g *Gossip) ExportState() GossipState {
+	st := GossipState{Count: g.count, NextID: g.nextID}
+	for _, row := range g.infected {
+		st.Infected = append(st.Infected, row...)
+	}
+	return st
+}

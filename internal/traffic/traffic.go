@@ -190,3 +190,8 @@ func wallTime(a, on, off time.Duration) time.Duration {
 	}
 	return time.Duration(int64(full)*int64(cycle)) + rem
 }
+
+// NextID reports the last data packet id issued (ids are issued
+// sequentially from 1). Checkpoint verification compares it across
+// processes to prove the workloads are in lockstep.
+func (g *Generator) NextID() uint64 { return g.nextID }

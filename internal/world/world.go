@@ -181,6 +181,9 @@ type World struct {
 	topo0   *routing.Graph  // lazily built boot topology snapshot
 	gossip  *traffic.Gossip // nil unless cfg.Gossip is set
 	jammers []*jamRunner    // one per cfg.Jammers entry
+
+	gen     *traffic.Generator // workload, kept for checkpoint capture
+	started bool
 }
 
 // New assembles a world. Construction is deterministic in cfg.Seed.
@@ -402,20 +405,51 @@ func (w *World) BootTopology() *routing.Graph {
 // query buffer, or jittered relay is silently drained back to the pool,
 // so a run that ends with packet.Live() above its starting level has
 // found a genuine leak.
+//
+// Run is the composition Start → RunTo(horizon) → Finish; checkpointed
+// runs call the pieces directly so they can stop at instant boundaries
+// in between. Chunking RunTo never changes results: the kernel queue
+// orders strictly by (at, seq), so Run(t₁); Run(t₂) dispatches the
+// identical sequence one Run(t₂) would.
 func (w *World) Run() metrics.Summary {
+	w.Start()
+	w.RunTo(w.Cfg.Duration)
+	return w.Finish()
+}
+
+// Start boots every terminal, the flow/gossip workloads, and the
+// scripted jammers. It must be called exactly once, before RunTo.
+func (w *World) Start() {
+	if w.started {
+		panic("world: Start called twice")
+	}
+	w.started = true
 	for _, nd := range w.Nodes {
 		nd.Start()
 	}
 	gen := traffic.NewGenerator(w.Kernel, w.Nodes)
 	gen.Obs = w.Obs
 	gen.Start(w.Flows, w.Streams, w.Cfg.Duration)
+	w.gen = gen
 	if w.gossip != nil {
 		w.gossip.Start(w.Cfg.Duration)
 	}
 	for _, j := range w.jammers {
 		w.Kernel.Schedule(j.j.From, j.fire)
 	}
-	w.Kernel.Run(w.Cfg.Duration)
+}
+
+// RunTo executes the simulation up to virtual time t (an instant
+// boundary: every event at or before t has dispatched when it returns,
+// and no fan-out is in flight). Calls must be non-decreasing in t.
+func (w *World) RunTo(t time.Duration) {
+	w.Kernel.Run(t)
+}
+
+// Finish drains the in-flight population back to the pool and
+// assembles the metrics summary. Call once, after RunTo reached the
+// configured horizon.
+func (w *World) Finish() metrics.Summary {
 	// The drain splits data from control: the data count is exactly the
 	// end-to-end packets still in flight at the horizon, the conservation
 	// check's missing term (generated == delivered + dropped + in-flight).

@@ -129,6 +129,15 @@ type SimConfig struct {
 	// only, never results (see DESIGN.md §10). This parallelizes inside
 	// one run; BatchConfig.Workers parallelizes across runs.
 	Shards int
+	// CheckpointPath, when set, is the snapshot file the run writes at
+	// every CheckpointEvery of virtual time, atomically, so a killed
+	// process can be resumed via Resume. Honoured by
+	// SimulateCheckpointed (plain Simulate ignores it, as it has no way
+	// to surface a snapshot write error). See docs/OPERATIONS.md.
+	CheckpointPath string
+	// CheckpointEvery is the virtual-time snapshot cadence; zero means
+	// every 10 simulated seconds.
+	CheckpointEvery time.Duration
 }
 
 // Telemetry configures per-interval timeline collection for one run.
@@ -207,29 +216,8 @@ func SimulateTraced(cfg SimConfig, capacity int) (Summary, []TraceEvent) {
 }
 
 func simulate(cfg SimConfig, rec *trace.Recorder) (Summary, Timeline, *trace.Recorder) {
-	wcfg := world.DefaultConfig(cfg.MeanSpeedKmh, cfg.Rate)
-	if cfg.Duration > 0 {
-		wcfg.Duration = cfg.Duration
-	}
-	if cfg.Seed != 0 || cfg.SeedZero {
-		wcfg.Seed = cfg.Seed
-	}
-	if cfg.Flows != nil {
-		wcfg.Flows = cfg.Flows
-	}
-	if cfg.BufferCap > 0 {
-		wcfg.Node.BufferCap = cfg.BufferCap
-	}
+	wcfg := simWorldConfig(cfg)
 	wcfg.Trace = rec
-	wcfg.Obs = cfg.Obs
-	wcfg.Shards = cfg.Shards
-	if cfg.Telemetry != nil {
-		if cfg.Telemetry.Streaming {
-			wcfg.Timeseries = timeseries.NewStreamingCollector(cfg.Telemetry.Interval, wcfg.Duration)
-		} else {
-			wcfg.Timeseries = timeseries.NewCollector(cfg.Telemetry.Interval, wcfg.Duration)
-		}
-	}
 	summary := world.New(wcfg, experiment.Factory(cfg.Protocol, cfg.Rate)).Run()
 	var tl Timeline
 	if cfg.Telemetry != nil {
@@ -425,7 +413,17 @@ type BatchTelemetry = batch.Telemetry
 // BatchConfig.Workers (default: GOMAXPROCS). Cells run deterministic
 // seeds and results are assembled in grid order, so the same scenarios
 // and base seed produce bit-identical exports regardless of parallelism.
+// Crash resilience: a panicking or stalling cell is quarantined (see
+// BatchCell.Error) instead of killing the grid, BatchConfig.Manifest
+// journals finished cells durably for resume, and BatchConfig.Stop ends
+// the grid gracefully with ErrBatchInterrupted.
 func RunBatch(cfg BatchConfig) (BatchResult, error) { return batch.Run(cfg) }
+
+// ErrBatchInterrupted is wrapped by RunBatch's error when
+// BatchConfig.Stop ended the grid before every cell ran; the partial
+// result's finished cells are journaled when BatchConfig.Manifest is
+// set, so re-running the same grid resumes instead of restarting.
+var ErrBatchInterrupted = batch.ErrInterrupted
 
 // Observability types: an ObsRegistry holds one run's (or one batch
 // cell's) subsystem counters and delay histogram; an ObsSnapshot is its
