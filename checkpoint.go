@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rica/internal/checkpoint"
+	"rica/internal/durable"
 	"rica/internal/experiment"
 	"rica/internal/scenario"
 	"rica/internal/timeseries"
@@ -260,9 +261,11 @@ func (c *ckRun) write(wr io.Writer, at time.Duration) error {
 	return checkpoint.Write(wr, all)
 }
 
-// writeFile writes a snapshot atomically: temp file in the same
-// directory, fsync, rename. A crash mid-write leaves the previous
-// complete snapshot (if any) untouched.
+// writeFile writes a snapshot atomically and durably: temp file in the
+// same directory, fsync, rename, fsync the directory (the rename is an
+// entry operation — without the directory sync a machine crash can
+// roll it back and lose the snapshot). A crash mid-write leaves the
+// previous complete snapshot (if any) untouched.
 func (c *ckRun) writeFile(path string, at time.Duration) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -281,7 +284,7 @@ func (c *ckRun) writeFile(path string, at time.Duration) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	return durable.Rename(tmp.Name(), path)
 }
 
 // loop runs from virtual time `from` to the horizon, stopping at every

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// The subprocess tests (exit-code contract, serve chaos) run the real
+// binary: build it once per test process and share the path.
+var (
+	buildOnce sync.Once
+	buildPath string
+	buildErr  error
+	buildDir  string
+)
+
+func ricasimBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "ricasim-bin-")
+		if buildErr != nil {
+			return
+		}
+		buildPath = filepath.Join(buildDir, "ricasim")
+		cmd := exec.Command("go", "build", "-o", buildPath, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			t.Logf("go build: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building ricasim: %v", buildErr)
+	}
+	return buildPath
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestExitCodeContract pins the CLI's exit statuses end to end, as real
+// subprocesses: 0 success, 1 error, 3 interrupted-but-resumable, 130
+// forced by a second signal. Schedulers, the serve supervisor, and the
+// CI crash-resume job all dispatch on these numbers, so they are API.
+func TestExitCodeContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := ricasimBinary(t)
+
+	cases := []struct {
+		name string
+		args func(dir string) []string
+		// signals to deliver after evidence the run is underway; the
+		// second (when present) waits for the drain banner first.
+		signals  int
+		wantCode int
+		wantErr  string // substring required on stderr
+	}{
+		{
+			name: "success is 0",
+			args: func(dir string) []string {
+				return []string{"-scenario", "chain-10", "-protocols", "RICA", "-trials", "1",
+					"-duration", "5s", "-format", "json", "-out", filepath.Join(dir, "out.json")}
+			},
+			wantCode: 0,
+		},
+		{
+			name: "usage error is 1",
+			args: func(dir string) []string {
+				return []string{"-scenario", "no-such-scenario"}
+			},
+			wantCode: 1,
+			wantErr:  "no-such-scenario",
+		},
+		{
+			name: "interrupted batch is 3",
+			args: func(dir string) []string {
+				return []string{"-scenario", "dense-urban", "-protocols", "RICA", "-trials", "50",
+					"-duration", "30s", "-format", "json",
+					"-manifest", filepath.Join(dir, "manifest"),
+					"-out", filepath.Join(dir, "out.json")}
+			},
+			signals:  1,
+			wantCode: exitCodeInterrupted,
+			wantErr:  "interrupted",
+		},
+		{
+			name: "second signal forces 130",
+			args: func(dir string) []string {
+				return []string{"-scenario", "dense-urban", "-protocols", "RICA", "-trials", "50",
+					"-duration", "30s", "-format", "json",
+					"-out", filepath.Join(dir, "out.json")}
+			},
+			signals:  2,
+			wantCode: exitCodeForced,
+			wantErr:  "forced exit",
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			cmd := exec.Command(bin, tc.args(dir)...)
+			stderr, err := cmd.StderrPipe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+
+			var collected strings.Builder
+			lines := make(chan string, 64)
+			go func() {
+				sc := bufio.NewScanner(stderr)
+				for sc.Scan() {
+					lines <- sc.Text()
+				}
+				close(lines)
+			}()
+
+			if tc.signals > 0 {
+				// First progress line proves the batch is mid-grid with
+				// the signal handler installed.
+				waitForLine(t, lines, &collected, "[")
+				_ = cmd.Process.Signal(syscall.SIGINT)
+				if tc.signals > 1 {
+					waitForLine(t, lines, &collected, "draining")
+					_ = cmd.Process.Signal(syscall.SIGINT)
+				}
+			}
+			for line := range lines {
+				collected.WriteString(line)
+				collected.WriteByte('\n')
+			}
+			code := 0
+			if err := cmd.Wait(); err != nil {
+				var ee *exec.ExitError
+				if !errors.As(err, &ee) {
+					t.Fatal(err)
+				}
+				code = ee.ExitCode()
+			}
+			if code != tc.wantCode {
+				t.Errorf("exit code %d, want %d\nstderr:\n%s", code, tc.wantCode, collected.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(collected.String(), tc.wantErr) {
+				t.Errorf("stderr lacks %q:\n%s", tc.wantErr, collected.String())
+			}
+		})
+	}
+}
+
+// waitForLine reads lines until one contains substr, accumulating them.
+func waitForLine(t *testing.T, lines <-chan string, collected *strings.Builder, substr string) {
+	t.Helper()
+	deadline := time.After(60 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("stderr closed before %q appeared:\n%s", substr, collected.String())
+			}
+			collected.WriteString(line)
+			collected.WriteByte('\n')
+			if strings.Contains(line, substr) {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("no %q line within deadline:\n%s", substr, collected.String())
+		}
+	}
+}
+
+// TestInterruptedManifestResumes closes the loop on exit code 3: a
+// second run over the same manifest restores the journaled cells and
+// finishes with 0.
+func TestInterruptedManifestResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := ricasimBinary(t)
+	dir := t.TempDir()
+	args := []string{"-scenario", "dense-urban", "-protocols", "RICA", "-trials", "50",
+		"-duration", "30s", "-format", "json",
+		"-manifest", filepath.Join(dir, "manifest"),
+		"-out", filepath.Join(dir, "out.json")}
+
+	first := exec.Command(bin, args...)
+	stderr, err := first.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var collected strings.Builder
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	waitForLine(t, lines, &collected, "[1/")
+	_ = first.Process.Signal(syscall.SIGINT)
+	for range lines {
+	}
+	err = first.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != exitCodeInterrupted {
+		t.Fatalf("first run: %v (stderr:\n%s)", err, collected.String())
+	}
+
+	second := exec.Command(bin, args...)
+	out, err := second.CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "manifest: restored") {
+		t.Errorf("resume run did not restore journaled cells:\n%s", out)
+	}
+}

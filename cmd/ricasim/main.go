@@ -48,6 +48,13 @@ const (
 )
 
 func main() {
+	// `ricasim serve` is a subcommand with its own flag set: the
+	// long-lived self-healing service that re-execs this binary as its
+	// batch workers.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		figure      = flag.String("figure", "all", "figure to regenerate: 2a..6b or 'all'")
 		trials      = flag.Int("trials", 5, "trials per experimental cell (paper: 25)")

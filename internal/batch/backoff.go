@@ -1,0 +1,49 @@
+package batch
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Cell-retry backoff. Unjittered exponential backoff synchronizes
+// retries: when one slow machine stalls a whole worker pool's cells at
+// once, every retry lands at the same instants and the thundering herd
+// stalls again. The fix is the standard equal-jitter scheme — half the
+// exponential delay deterministic, half uniformly random — bounded by a
+// hard cap so attempt counts can grow without delays growing past it.
+const (
+	// retryBackoffBase is attempt 0's nominal delay; attempt k's nominal
+	// delay is base << k.
+	retryBackoffBase = 100 * time.Millisecond
+	// retryBackoffMax caps the nominal delay (and therefore the jittered
+	// delay, which never exceeds the nominal one).
+	retryBackoffMax = 2 * time.Second
+)
+
+// retryBackoff returns the sleep before retry attempt (0-based): an
+// equal-jitter exponential delay in [nominal/2, nominal), where nominal
+// = min(base<<attempt, max). Deterministic given the rng state, so a
+// seeded sequence is reproducible — the unit tests pin it.
+func retryBackoff(attempt int, rng *rand.Rand) time.Duration {
+	nominal := retryBackoffMax
+	// base<<attempt overflows past attempt 34; the cap makes large
+	// attempts irrelevant long before then.
+	if attempt < 34 {
+		if d := retryBackoffBase << attempt; d < nominal {
+			nominal = d
+		}
+	}
+	half := nominal / 2
+	return half + time.Duration(rng.Int63n(int64(half)))
+}
+
+// retryRNG seeds the per-cell backoff stream deterministically from the
+// cell's grid coordinates, so equal grids retry on equal schedules (and
+// distinct cells desynchronize from each other).
+func retryRNG(c cell) *rand.Rand {
+	seed := c.seed*1000003 + int64(c.protocol)*8191 + int64(len(c.spec.Name))
+	for _, b := range []byte(c.spec.Name) {
+		seed = seed*131 + int64(b)
+	}
+	return rand.New(rand.NewSource(seed))
+}

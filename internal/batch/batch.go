@@ -11,6 +11,7 @@ package batch
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -168,8 +169,13 @@ type Result struct {
 	Cells      []CellResult `json:"cells"`
 	Aggregates []Aggregate  `json:"aggregates"`
 	// Restored counts cells replayed from the manifest journal instead
-	// of recomputed; Poisoned counts quarantined cells.
-	Restored int `json:"restored,omitempty"`
+	// of recomputed. It is deliberately absent from the export: it
+	// records this process's resume history, not the grid's results, and
+	// exports must be byte-identical whether or not a run was resumed
+	// (the serve chaos test holds them to that). It is reported on
+	// stderr instead. Poisoned counts quarantined cells and IS exported:
+	// the same grid poisons the same cells.
+	Restored int `json:"-"`
 	Poisoned int `json:"poisoned,omitempty"`
 }
 
@@ -362,8 +368,9 @@ var testCellHook func(scenarioName string, protocol experiment.Protocol, seed in
 
 // runCellResilient executes one cell under the crash shield: panics are
 // quarantined immediately (deterministic cells panic again on retry),
-// wall-clock timeouts are retried with exponential backoff up to the
-// configured attempt budget, then quarantined.
+// wall-clock timeouts are retried with capped, jittered exponential
+// backoff (see backoff.go) up to the configured attempt budget, then
+// quarantined.
 func runCellResilient(c cell, cfg *Config, tl *timeseries.Timeline) CellResult {
 	retries := cfg.CellRetries
 	switch {
@@ -372,7 +379,7 @@ func runCellResilient(c cell, cfg *Config, tl *timeseries.Timeline) CellResult {
 	case retries < 0:
 		retries = 0
 	}
-	backoff := 100 * time.Millisecond
+	var rng *rand.Rand // lazily seeded; most cells never retry
 	for attempt := 0; ; attempt++ {
 		res, timedOut := runCellAttempt(c, cfg, tl)
 		if !timedOut {
@@ -381,10 +388,10 @@ func runCellResilient(c cell, cfg *Config, tl *timeseries.Timeline) CellResult {
 		if attempt >= retries {
 			return poisonCell(c, fmt.Sprintf("timed out after %d attempt(s) of %v", attempt+1, cfg.CellTimeout), "")
 		}
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > 2*time.Second {
-			backoff = 2 * time.Second
+		if rng == nil {
+			rng = retryRNG(c)
 		}
+		time.Sleep(retryBackoff(attempt, rng))
 	}
 }
 

@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"path/filepath"
 	"sync"
+
+	"rica/internal/durable"
 )
 
 // The grid manifest is the batch engine's crash journal: an append-only
@@ -93,6 +96,13 @@ func openManifest(path, sig string, cells int) (*manifest, map[int]CellResult, e
 			return nil, nil, err
 		}
 		if err := m.appendLine(hdr); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("batch: manifest: %w", err)
+		}
+		// A fresh journal is a new directory entry: sync the directory
+		// too, or a machine crash can forget the file ever existed even
+		// though every line in it was fsync'd.
+		if err := durable.SyncDir(filepath.Dir(path)); err != nil {
 			f.Close()
 			return nil, nil, fmt.Errorf("batch: manifest: %w", err)
 		}

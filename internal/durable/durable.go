@@ -1,0 +1,64 @@
+// Package durable closes the last gap in the repo's atomic-write
+// story: directory durability. Writing a temp file, fsyncing it, and
+// renaming it over the target makes the *contents* crash-safe, but the
+// rename itself lives in the parent directory's entries — until the
+// directory is fsynced, a power cut can roll the rename back and the
+// "atomically written" file simply is not there on reboot. The same
+// applies to freshly created files (a journal's first open): the inode
+// is durable, the directory entry pointing at it may not be.
+//
+// Rename and SyncFile bundle the missing directory sync with the
+// operations that need it, so checkpoint snapshots and manifest
+// journals survive not just process death but whole-machine crashes.
+package durable
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// OnSync, when non-nil, observes every directory sync with the directory
+// path. It exists so regression tests can prove the checkpoint and
+// manifest write paths actually reach the directory sync; production
+// code must never set it.
+var OnSync func(dir string)
+
+// SyncDir fsyncs the directory itself, making previously performed
+// entry operations (renames, creates, unlinks) in it durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil && OnSync != nil {
+		OnSync(dir)
+	}
+	return err
+}
+
+// Rename renames oldpath over newpath and fsyncs newpath's parent
+// directory, so a crash immediately after Rename returns cannot lose
+// the rename. The file at oldpath must already be fsynced by the
+// caller (content durability and entry durability are separate).
+func Rename(oldpath, newpath string) error {
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(newpath))
+}
+
+// SyncFile makes a freshly created (or appended) file fully durable:
+// fsync the file, then fsync its parent directory so the entry that
+// names it survives a crash too. Use after creating a file whose
+// existence matters (a new journal), not on every append — appends to
+// an already-durable entry only need the file sync.
+func SyncFile(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(f.Name()))
+}

@@ -1,0 +1,76 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// observeSyncs installs an OnSync observer collecting synced directory
+// paths; tests using it must not run in parallel.
+func observeSyncs(t *testing.T) *[]string {
+	t.Helper()
+	var dirs []string
+	OnSync = func(dir string) { dirs = append(dirs, dir) }
+	t.Cleanup(func() { OnSync = nil })
+	return &dirs
+}
+
+func TestRenameSyncsParentDir(t *testing.T) {
+	dirs := observeSyncs(t)
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "x.tmp")
+	dst := filepath.Join(dir, "x")
+	if err := os.WriteFile(tmp, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Rename(tmp, dst); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	data, err := os.ReadFile(dst)
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("renamed file: %q, %v", data, err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file still present: %v", err)
+	}
+	if len(*dirs) != 1 || (*dirs)[0] != dir {
+		t.Fatalf("synced dirs = %v, want exactly [%s]", *dirs, dir)
+	}
+}
+
+func TestSyncFileSyncsParentDir(t *testing.T) {
+	dirs := observeSyncs(t)
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString("header\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncFile(f); err != nil {
+		t.Fatalf("SyncFile: %v", err)
+	}
+	if len(*dirs) != 1 || (*dirs)[0] != dir {
+		t.Fatalf("synced dirs = %v, want exactly [%s]", *dirs, dir)
+	}
+}
+
+func TestSyncDirMissing(t *testing.T) {
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("SyncDir on a missing directory succeeded")
+	}
+}
+
+func TestRenameFailureDoesNotSync(t *testing.T) {
+	dirs := observeSyncs(t)
+	dir := t.TempDir()
+	if err := Rename(filepath.Join(dir, "missing"), filepath.Join(dir, "dst")); err == nil {
+		t.Fatal("Rename of a missing file succeeded")
+	}
+	if len(*dirs) != 0 {
+		t.Fatalf("failed rename still synced %v", *dirs)
+	}
+}

@@ -1,0 +1,77 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"rica/internal/timeseries"
+)
+
+// tlPoints builds a well-formed timeline from (generated, delivered,
+// dropped-congestion) triples at 1 s intervals.
+func tlPoints(rows ...[3]int) timeseries.Timeline {
+	tl := timeseries.Timeline{IntervalS: 1}
+	for i, r := range rows {
+		tl.Points = append(tl.Points, timeseries.Point{
+			Index: i, StartS: float64(i),
+			Generated: r[0], Delivered: r[1], DropCongestion: r[2],
+		})
+	}
+	return tl
+}
+
+func TestCheckTimelineAccepts(t *testing.T) {
+	cases := map[string]timeseries.Timeline{
+		"empty":    {IntervalS: 1},
+		"zero-row": tlPoints([3]int{0, 0, 0}),
+		// Deliveries lagging generation across intervals is legal: the
+		// second interval delivers more than it generates.
+		"carryover": tlPoints([3]int{5, 1, 0}, [3]int{1, 4, 1}),
+		"balanced":  tlPoints([3]int{3, 3, 0}, [3]int{2, 1, 1}),
+	}
+	for name, tl := range cases {
+		if err := CheckTimeline(tl); err != nil {
+			t.Errorf("%s: unexpected violation: %v", name, err)
+		}
+	}
+}
+
+func TestCheckTimelineRejects(t *testing.T) {
+	negative := tlPoints([3]int{4, 1, 0}, [3]int{-2, 0, 0})
+	overdrawn := tlPoints([3]int{1, 0, 0}, [3]int{0, 2, 0})
+	shuffled := tlPoints([3]int{1, 0, 0}, [3]int{1, 1, 0})
+	shuffled.Points[1].Index = 0
+	skewed := tlPoints([3]int{1, 0, 0}, [3]int{1, 1, 0})
+	skewed.Points[1].StartS = 7
+
+	cases := map[string]struct {
+		tl  timeseries.Timeline
+		law string
+	}{
+		"negative delta":      {negative, "timeline-monotone"},
+		"prefix overdraw":     {overdrawn, "timeline-conservation"},
+		"shuffled index":      {shuffled, "timeline-index"},
+		"start-time skew":     {skewed, "timeline-index"},
+		"nonpositive spacing": {timeseries.Timeline{IntervalS: 0, Points: make([]timeseries.Point, 1)}, "timeline-interval"},
+	}
+	for name, c := range cases {
+		err := CheckTimeline(c.tl)
+		if err == nil {
+			t.Errorf("%s: violation undetected", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.law) {
+			t.Errorf("%s: error %q does not name law %s", name, err, c.law)
+		}
+	}
+}
+
+// TestCheckTimelineHorizonOverdrawOnly: a violation in the final
+// interval only (books balanced until the horizon) is still caught —
+// the law is per-prefix, not end-to-end.
+func TestCheckTimelineHorizonOverdrawOnly(t *testing.T) {
+	tl := tlPoints([3]int{2, 1, 1}, [3]int{0, 1, 0})
+	if err := CheckTimeline(tl); err == nil {
+		t.Fatal("final-interval overdraw undetected")
+	}
+}

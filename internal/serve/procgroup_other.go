@@ -1,0 +1,16 @@
+//go:build !unix
+
+package serve
+
+import "os/exec"
+
+// Non-unix fallback: no process groups; a force kill reaches only the
+// worker itself and a graceful stop degrades to a hard kill.
+func setProcessGroup(cmd *exec.Cmd) {}
+
+func signalProcess(cmd *exec.Cmd, force bool) {
+	if cmd.Process == nil {
+		return
+	}
+	_ = cmd.Process.Kill()
+}

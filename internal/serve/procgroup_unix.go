@@ -1,0 +1,31 @@
+//go:build unix
+
+package serve
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcessGroup puts the worker in its own process group so a kill
+// reaches the worker and anything it spawned, not the daemon.
+func setProcessGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// signalProcess delivers SIGTERM (force=false: ask the worker to drain,
+// journal, and exit 3) or SIGKILL to the whole group (force=true: the
+// hang and cancel paths, where cooperation cannot be assumed).
+func signalProcess(cmd *exec.Cmd, force bool) {
+	if cmd.Process == nil {
+		return
+	}
+	pid := cmd.Process.Pid
+	if force {
+		if err := syscall.Kill(-pid, syscall.SIGKILL); err != nil {
+			_ = cmd.Process.Kill()
+		}
+		return
+	}
+	_ = syscall.Kill(pid, syscall.SIGTERM)
+}

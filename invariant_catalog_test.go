@@ -65,6 +65,28 @@ func TestInvariantCatalog(t *testing.T) {
 				if got := rica.Fingerprint(sharded); got != want {
 					t.Errorf("sharded run diverged from serial\n got: %s\nwant: %s", got, want)
 				}
+
+				// Timeline monotonicity: re-run the cell as a 1×1×1 batch
+				// with interval telemetry and hold the emitted timeline to
+				// the cumulative-counters-never-decrease laws.
+				truncated := spec
+				truncated.Duration = rica.ScenarioDuration(catalogHorizon(spec.Name))
+				sink := &rica.MemoryTimelineSink{}
+				if _, err := rica.RunBatch(rica.BatchConfig{
+					Scenarios: []rica.Scenario{truncated},
+					Protocols: []rica.Protocol{p},
+					Trials:    1,
+					BaseSeed:  3,
+					Telemetry: &rica.BatchTelemetry{Interval: time.Second, Sink: sink},
+				}); err != nil {
+					t.Fatalf("timeline batch: %v", err)
+				}
+				if n := len(sink.Runs); n != 1 {
+					t.Fatalf("timeline batch emitted %d timelines, want 1", n)
+				}
+				if err := rica.CheckTimelineInvariants(sink.Runs[0].Timeline); err != nil {
+					t.Errorf("timeline laws: %v", err)
+				}
 			})
 		}
 	}

@@ -393,6 +393,16 @@ func CheckInvariants(s Summary) error { return invariant.CheckSummary(s) }
 // exact format.
 func Fingerprint(s Summary) string { return invariant.Fingerprint(s) }
 
+// CheckTimelineInvariants validates a finished interval timeline's
+// monotonicity laws: every cumulative counter (generated, delivered,
+// drops by reason, control traffic, route churn) is non-decreasing over
+// the run — per-interval deltas never go negative — and the cumulative
+// books balance at every interval boundary (delivered + dropped never
+// exceeds generated at any prefix, not just at the horizon). A nil
+// error means the timeline is self-consistent. The invariant catalog
+// sweep holds every built-in scenario × protocol cell to these laws.
+func CheckTimelineInvariants(tl Timeline) error { return invariant.CheckTimeline(tl) }
+
 // Batch types: BatchConfig spans a scenario × protocol × seed grid,
 // BatchResult carries per-cell rows plus mean/p50/p95 aggregates (with
 // JSON/CSV export), and BatchProgress streams per-cell completions.
